@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper with the
+full experimental protocol (12.5 s warm-up + 25 s measured, Sec. 5.2)
+and prints the series it produced, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the reproduction log.  Runs are cached
+across benchmarks (Figs. 7/8 share the mobile matrix, Figs. 9/10 the
+high-performance one, Fig. 11 reuses both), so the whole suite performs
+each simulation once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def paper_protocol() -> ExperimentConfig:
+    """The full-length configuration used by all figure benchmarks."""
+    return ExperimentConfig(warmup_s=12.5, measure_s=25.0)
+
+
+def emit(text: str) -> None:
+    """Print a reproduced artifact with a visible delimiter."""
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)

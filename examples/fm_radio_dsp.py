@@ -1,0 +1,64 @@
+"""The SDR benchmark as *actual* signal processing.
+
+The simulation experiments only need the tasks' cycle budgets, but the
+pipeline is real: this example synthesizes a broadcast FM signal
+carrying a two-tone audio program plus an adjacent-channel interferer,
+then runs the exact Fig. 6 chain — channel LPF, FM discriminator, a
+three-band equalizer and the weighted-sum consumer — frame by frame,
+and verifies the program content was recovered and the equalizer gains
+did their job.
+
+Run:  python examples/fm_radio_dsp.py
+"""
+
+import numpy as np
+
+from repro.sdr import FMRadio, RadioConfig, broadcast_fm_signal, multitone
+from repro.sdr.signals import tone_power_db
+
+
+def main() -> None:
+    cfg = RadioConfig(gains=(1.0, 1.0, 2.0))   # treble boosted 2x
+    fs = cfg.fs_hz
+
+    # A 0.2 s audio program: 800 Hz (bass band, 40-2000 Hz) + 15 kHz
+    # (mid-treble band, 8-24 kHz).
+    audio = multitone([800.0, 15e3], fs, duration_s=0.2,
+                      amplitudes=[0.6, 0.3])
+    print(f"Transmitting {len(audio)} samples at {fs / 1e3:.0f} kHz "
+          f"(tones at 0.8 and 15 kHz)")
+
+    # Broadcast conditions: 75 kHz deviation FM + adjacent-channel
+    # interferer at +115 kHz + receiver noise.
+    iq = broadcast_fm_signal(audio, fs, interference_offset_hz=115e3,
+                             interference_amp=0.25, noise_sigma=0.02)
+
+    # Receive frame by frame, exactly like the streaming tasks do.
+    radio = FMRadio(cfg)
+    frame_len = 2048
+    out = radio.process(iq, frame_len=frame_len)
+    print(f"Processed {radio.frames_processed} frames of "
+          f"{frame_len} samples")
+
+    # Check the recovered spectrum (skip the filter warm-up).
+    settled = out[4 * frame_len:]
+    bass = tone_power_db(settled, fs, 800.0)
+    treble = tone_power_db(settled, fs, 15e3)
+    floor = tone_power_db(settled, fs, 55e3)
+    print(f"Recovered tone power: 800 Hz = {bass:.1f} dB, "
+          f"15 kHz = {treble:.1f} dB, noise floor ~ {floor:.1f} dB")
+    assert bass - floor > 20, "bass tone lost"
+    assert treble - floor > 20, "treble tone lost"
+
+    # The treble band was boosted 2x (+6 dB): compare with a flat radio.
+    flat = FMRadio(RadioConfig(gains=(1.0, 1.0, 1.0)))
+    out_flat = flat.process(iq, frame_len=frame_len)[4 * frame_len:]
+    boost = treble - tone_power_db(out_flat, fs, 15e3)
+    print(f"Equalizer treble boost measured: {boost:+.1f} dB "
+          f"(configured +6 dB)")
+    assert 4.0 < boost < 8.0
+    print("OK: the Fig. 6 pipeline demodulates and equalizes correctly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Compare the three policies of the paper across the threshold sweep.
+
+Reproduces the data behind Figs. 7 and 8 (mobile embedded package) as a
+single table: temperature standard deviation, deadline misses and
+migration traffic for Energy-Balancing, Stop&Go and the thermal
+balancing policy at thresholds of 1-4 C.
+
+Run:  python examples/policy_comparison.py        (~1 min)
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.metrics.report import RunReport
+
+
+def main() -> None:
+    thresholds = (1.0, 2.0, 3.0, 4.0)
+    policies = ("energy", "stopgo", "migra")
+
+    print(RunReport.HEADER)
+    for policy in policies:
+        for theta in thresholds:
+            cfg = ExperimentConfig(policy=policy, threshold_c=theta,
+                                   package="mobile")
+            result = run_experiment(cfg)
+            print(result.report.to_row())
+
+    print()
+    print("Reading the table (the paper's Sec. 5.2 story):")
+    print(" * energy-balance: ~10 C standing gradient, no misses, no")
+    print("   migrations — thermally blind.")
+    print(" * stop-go: flattens the hot core but stalls the pipeline;")
+    print("   hundreds of deadline misses.")
+    print(" * migra: lowest temperature deviation at every threshold")
+    print("   with zero misses and ~100 KB/s of migration traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — Thermal balancing for streaming MPSoCs.
+
+A full-system reproduction of *"Thermal Balancing Policy for Streaming
+Computing on Multiprocessor Architectures"* (Mulas et al., DATE 2008):
+a discrete-event MPSoC simulator with a HotSpot-style thermal model, a
+multi-processor OS with checkpoint-based task migration, the paper's
+MiGra-derived thermal balancing policy and its baselines, the SDR
+benchmark, and a harness regenerating every table and figure of the
+evaluation.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(policy="migra",
+                                             threshold_c=3.0))
+    print(result.report.to_text())
+
+See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
+architecture.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    RunResult,
+    SystemUnderTest,
+    build_system,
+    run_experiment,
+)
+from repro.experiments.figures import (
+    figure2,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.narrative import narrative_sec52
+from repro.experiments.tables import table1, table2
+from repro.metrics.report import RunReport
+from repro.mpos.system import MPOS
+from repro.policies import (
+    EnergyBalancing,
+    LoadBalancing,
+    MigraThermalBalancer,
+    PanicGuard,
+    StopAndGo,
+    ThermalPolicy,
+)
+from repro.sim.kernel import Simulator
+from repro.streaming.application import StreamingApplication
+from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyBalancing",
+    "ExperimentConfig",
+    "LoadBalancing",
+    "MPOS",
+    "MigraThermalBalancer",
+    "PanicGuard",
+    "RunReport",
+    "RunResult",
+    "SINK",
+    "SOURCE",
+    "Simulator",
+    "StopAndGo",
+    "StreamGraph",
+    "StreamingApplication",
+    "SystemUnderTest",
+    "TaskSpec",
+    "ThermalPolicy",
+    "__version__",
+    "build_system",
+    "figure2",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "narrative_sec52",
+    "run_experiment",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Regenerate any table or figure of the paper::
+
+    repro table1
+    repro table2
+    repro fig2
+    repro fig7 --measure 25
+    repro fig11
+    repro narrative
+    repro run --policy migra --threshold 2 --package highperf
+    repro ablation top-k
+    repro list
+
+(or ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ablation as ablation_mod
+from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
+from repro.experiments.figures import (
+    figure2,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.narrative import narrative_sec52
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import table1, table2
+from repro.metrics.report import RunReport
+
+_FIGURES = {
+    "fig2": figure2,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+}
+
+_EXPERIMENTS = (
+    "table1: component power models (Table 1)",
+    "table2: SDR application mapping (Table 2)",
+    "fig1: the motivating two-core example (Figure 1)",
+    "fig2: migration cost vs task size",
+    "fig7: temperature std dev, mobile package",
+    "fig8: deadline misses, mobile package",
+    "fig9: temperature std dev, high-performance package",
+    "fig10: deadline misses, high-performance package",
+    "fig11: migrations/s, both packages",
+    "narrative: Sec. 5.2 prose claims",
+    "run: one custom run (see --help)",
+    "ablation: design-choice studies (candidate-filter, top-k, strategy, "
+    "queue-capacity, sensor-period, stopgo-variant, platform)",
+    "scaling: core-count scaling study (extension)",
+    "thermal-map: ASCII die temperature map via the grid model",
+)
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = {}
+    if getattr(args, "warmup", None) is not None:
+        kwargs["warmup_s"] = args.warmup
+    if getattr(args, "measure", None) is not None:
+        kwargs["measure_s"] = args.measure
+    return ExperimentConfig(**kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Mulas et al., DATE 2008 (thermal balancing "
+                    "for streaming MPSoCs)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="regenerate Table 1")
+    sub.add_parser("table2", help="regenerate Table 2")
+    sub.add_parser("fig1", help="reproduce the Figure 1 two-core example")
+
+    for name in _FIGURES:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if name != "fig2":
+            p.add_argument("--warmup", type=float, default=None,
+                           help="warm-up seconds (default 12.5)")
+            p.add_argument("--measure", type=float, default=None,
+                           help="measured seconds (default 25)")
+
+    p = sub.add_parser("narrative", help="measure the Sec. 5.2 claims")
+    p.add_argument("--threshold", type=float, default=3.0)
+
+    p = sub.add_parser("run", help="run one configuration")
+    p.add_argument("--policy", default="migra",
+                   choices=("migra", "stopgo", "energy", "load"))
+    p.add_argument("--threshold", type=float, default=3.0)
+    p.add_argument("--package", default="mobile",
+                   choices=("mobile", "highperf"))
+    p.add_argument("--platform", default="conf1",
+                   choices=("conf1", "conf2"))
+    p.add_argument("--strategy", default="replication",
+                   choices=("replication", "recreation"))
+    p.add_argument("--warmup", type=float, default=None)
+    p.add_argument("--measure", type=float, default=None)
+    p.add_argument("--show-trace", action="store_true",
+                   help="print per-core temperature sparklines")
+    p.add_argument("--dump-traces", metavar="PATH", default=None,
+                   help="export core temperature series to CSV")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+
+    p = sub.add_parser("ablation", help="run an ablation study")
+    p.add_argument("name", choices=sorted(ablation_mod.ALL_ABLATIONS))
+
+    p = sub.add_parser("scaling",
+                       help="core-count scaling study (extension)")
+    p.add_argument("--cores", type=int, nargs="+", default=[2, 3, 4, 5])
+    p.add_argument("--threshold", type=float, default=2.0)
+
+    p = sub.add_parser("thermal-map",
+                       help="ASCII die temperature map (grid model)")
+    p.add_argument("--policy", default="energy",
+                   choices=("migra", "stopgo", "energy", "load"))
+    p.add_argument("--threshold", type=float, default=3.0)
+    p.add_argument("--package", default="mobile",
+                   choices=("mobile", "highperf"))
+    p.add_argument("--cell", type=float, default=0.2,
+                   help="cell size in mm")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output piped into e.g. `head`: close quietly like cat does.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "list":
+        print("Available experiments:")
+        for line in _EXPERIMENTS:
+            print(f"  {line}")
+        return 0
+    if args.command == "table1":
+        print(table1().to_text())
+        return 0
+    if args.command == "table2":
+        print(table2().to_text())
+        return 0
+    if args.command == "fig1":
+        from repro.experiments.figure1 import figure1
+        print(figure1().to_text())
+        return 0
+    if args.command in _FIGURES:
+        if args.command == "fig2":
+            print(figure2().to_text())
+        else:
+            base = _base_config(args)
+            print(_FIGURES[args.command](
+                THRESHOLD_SWEEP_C, base).to_text())
+        return 0
+    if args.command == "narrative":
+        print(narrative_sec52(threshold_c=args.threshold).to_text())
+        return 0
+    if args.command == "run":
+        kwargs = dict(policy=args.policy, threshold_c=args.threshold,
+                      package=args.package, platform=args.platform,
+                      migration_strategy=args.strategy)
+        if args.warmup is not None:
+            kwargs["warmup_s"] = args.warmup
+        if args.measure is not None:
+            kwargs["measure_s"] = args.measure
+        config = ExperimentConfig(**kwargs)
+        result = run_experiment(config)
+        print(result.report.to_json() if args.json
+              else result.report.to_text())
+        if args.show_trace:
+            from repro.metrics.traces import render_core_temperatures
+            print()
+            print(render_core_temperatures(
+                result.system.trace, config.n_cores))
+        if args.dump_traces:
+            from repro.metrics.traces import export_csv
+            keys = [f"temp.core{i}" for i in range(config.n_cores)]
+            export_csv(result.system.trace, keys, path=args.dump_traces)
+            print(f"traces written to {args.dump_traces}")
+        return 0
+    if args.command == "ablation":
+        rows = ablation_mod.ALL_ABLATIONS[args.name]()
+        print(ablation_mod.render(f"Ablation: {args.name}", rows))
+        return 0
+    if args.command == "scaling":
+        from repro.experiments import scaling
+        rows = scaling.scaling_study(core_counts=tuple(args.cores),
+                                     threshold_c=args.threshold)
+        print(scaling.render(rows))
+        return 0
+    if args.command == "thermal-map":
+        from repro.experiments.thermal_map import thermal_map
+        cfg = ExperimentConfig(policy=args.policy,
+                               threshold_c=args.threshold,
+                               package=args.package)
+        result = thermal_map(cfg, cell_mm=args.cell)
+        print(result.text)
+        print(f"peak {result.peak_c:.1f} C, spread {result.spread_c:.1f} C, "
+              f"hottest block {result.hottest_block}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Experiment harness.
+
+One entry point per table/figure of the paper's evaluation (Sec. 5),
+built on a shared runner that assembles platform + thermal model + MPOS
++ SDR application + policy, executes the warm-up and measurement phases,
+and emits a :class:`~repro.metrics.report.RunReport`.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, SystemUnderTest, run_experiment
+from repro.experiments.figures import (
+    FigureSeries,
+    figure2,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    run_matrix,
+)
+from repro.experiments.tables import table1, table2
+from repro.experiments.narrative import narrative_sec52
+
+__all__ = [
+    "ExperimentConfig",
+    "FigureSeries",
+    "RunResult",
+    "SystemUnderTest",
+    "figure2",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "narrative_sec52",
+    "run_experiment",
+    "run_matrix",
+    "table1",
+    "table2",
+]

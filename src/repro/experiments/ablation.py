@@ -1,0 +1,258 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Each ablation varies one mechanism of the balancing policy or the
+middleware and reports the headline metrics, so the contribution of
+each piece is measurable:
+
+* ``ablation_candidate_filter`` — phase 1 strictness: the full policy
+  vs one that ignores the frequency-consistency condition (condition 2).
+* ``ablation_top_k`` — width of the phase 2 task search.
+* ``ablation_strategy`` — task-replication vs task-recreation under the
+  full policy (Fig. 2's cost difference turned into end-to-end QoS).
+* ``ablation_queue_capacity`` — pipeline buffering vs deadline misses.
+* ``ablation_sensor_period`` — thermal monitoring rate vs balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_experiment
+from repro.policies.migra import MigraThermalBalancer
+
+
+@dataclass
+class AblationRow:
+    """One ablation data point."""
+
+    label: str
+    pooled_std_c: float
+    spatial_std_c: float
+    deadline_misses: int
+    migrations_per_s: float
+
+    def to_text(self) -> str:
+        return (f"  {self.label:<28} pooled={self.pooled_std_c:6.3f}C "
+                f"spatial={self.spatial_std_c:6.3f}C "
+                f"misses={self.deadline_misses:4d} "
+                f"migr/s={self.migrations_per_s:5.2f}")
+
+
+def _row(label: str, result: RunResult) -> AblationRow:
+    return AblationRow(
+        label=label,
+        pooled_std_c=result.temperature.pooled_std(),
+        spatial_std_c=result.temperature.spatial_std(),
+        deadline_misses=result.report.deadline_misses,
+        migrations_per_s=result.report.migrations_per_s)
+
+
+class _NoFreqCheckMigra(MigraThermalBalancer):
+    """Migra with condition 2 disabled (for the ablation)."""
+
+    name = "migra-no-cond2"
+
+    def plan_exchange(self, src, core_temps):
+        # Temporarily make every frequency pass the consistency check by
+        # monkey-running the parent with a patched frequency list.
+        governor = self.mpos.governor
+        original = governor.frequencies_hz
+        n = self.mpos.chip.n_tiles
+        temps = np.asarray(core_temps, dtype=float)
+        mean = float(temps.mean())
+
+        def fake_freqs():
+            # Hot cores pretend to be fast, cold ones slow, so the
+            # condition always holds and only conditions 1/3 filter.
+            return [2.0 if temps[i] > mean else 1.0 for i in range(n)]
+
+        governor.frequencies_hz = fake_freqs
+        try:
+            return super().plan_exchange(src, core_temps)
+        finally:
+            governor.frequencies_hz = original
+
+
+def ablation_candidate_filter(base: Optional[ExperimentConfig] = None,
+                              threshold_c: float = 2.0,
+                              package: str = "highperf") -> List[AblationRow]:
+    """Full policy vs condition-2-free variant."""
+    base = base or ExperimentConfig()
+    cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                       package=package)
+    rows = [_row("full policy", run_experiment(cfg))]
+
+    from repro.experiments import runner as runner_mod
+    original = runner_mod.make_policy
+
+    def patched(config):
+        if config.policy == "migra":
+            return _NoFreqCheckMigra(
+                threshold_c=config.threshold_c, top_k=config.top_k,
+                max_from_hot=config.max_from_hot,
+                max_from_dst=config.max_from_dst)
+        return original(config)
+
+    runner_mod.make_policy = patched
+    try:
+        rows.append(_row("without condition 2", run_experiment(cfg)))
+    finally:
+        runner_mod.make_policy = original
+    return rows
+
+
+def ablation_top_k(base: Optional[ExperimentConfig] = None,
+                   values: Sequence[int] = (1, 2, 3),
+                   threshold_c: float = 2.0) -> List[AblationRow]:
+    """Phase-2 search width (the paper prunes to the top few loads)."""
+    base = base or ExperimentConfig()
+    rows = []
+    for k in values:
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           top_k=k)
+        rows.append(_row(f"top_k={k}", run_experiment(cfg)))
+    return rows
+
+
+def ablation_strategy(base: Optional[ExperimentConfig] = None,
+                      threshold_c: float = 2.0) -> List[AblationRow]:
+    """Replication vs recreation with the full policy running."""
+    base = base or ExperimentConfig()
+    rows = []
+    for strategy in ("replication", "recreation"):
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           migration_strategy=strategy)
+        rows.append(_row(strategy, run_experiment(cfg)))
+    return rows
+
+
+def ablation_queue_capacity(base: Optional[ExperimentConfig] = None,
+                            capacities: Sequence[int] = (2, 4, 6, 8, 11),
+                            policy: str = "stopgo",
+                            threshold_c: float = 3.0) -> List[AblationRow]:
+    """Pipeline buffering against stalls (Sec. 5.2's queue discussion)."""
+    base = base or ExperimentConfig()
+    rows = []
+    for cap in capacities:
+        cfg = base.variant(policy=policy, threshold_c=threshold_c,
+                           queue_capacity=cap)
+        rows.append(_row(f"capacity={cap}", run_experiment(cfg)))
+    return rows
+
+
+def ablation_sensor_period(base: Optional[ExperimentConfig] = None,
+                           periods_s: Sequence[float] = (0.005, 0.01, 0.05,
+                                                         0.1),
+                           threshold_c: float = 2.0,
+                           package: str = "highperf") -> List[AblationRow]:
+    """Sensor rate: slower monitoring loosens the balance the policy
+    can hold, especially on the fast package."""
+    base = base or ExperimentConfig()
+    rows = []
+    for period in periods_s:
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           package=package, sensor_period_s=period)
+        rows.append(_row(f"sensor={1000 * period:.0f}ms",
+                         run_experiment(cfg)))
+    return rows
+
+
+def ablation_sensor_noise(base: Optional[ExperimentConfig] = None,
+                          sigmas_c: Sequence[float] = (0.0, 0.25, 0.5,
+                                                       1.0, 2.0),
+                          threshold_c: float = 2.0) -> List[AblationRow]:
+    """Robustness to sensor noise: the policy reads noisy temperatures
+    while the metrics measure ground truth.  Balance should degrade
+    gracefully, with noise comparable to the threshold causing spurious
+    triggers (more migrations) before it breaks the balance itself."""
+    base = base or ExperimentConfig()
+    rows = []
+    for sigma in sigmas_c:
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           sensor_noise_c=sigma)
+        rows.append(_row(f"noise={sigma:.2f}C", run_experiment(cfg)))
+    return rows
+
+
+def ablation_load_jitter(base: Optional[ExperimentConfig] = None,
+                         jitters: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+                         threshold_c: float = 2.0) -> List[AblationRow]:
+    """Data-dependent workload: per-frame cycle costs vary by +-j while
+    the policy plans with the nominal loads.  Balance and QoS should
+    hold for realistic variation levels."""
+    base = base or ExperimentConfig()
+    rows = []
+    for jitter in jitters:
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           load_jitter=jitter)
+        rows.append(_row(f"jitter=+-{100 * jitter:.0f}%",
+                         run_experiment(cfg)))
+    return rows
+
+
+def ablation_stopgo_variant(base: Optional[ExperimentConfig] = None,
+                            threshold_c: float = 3.0) -> List[AblationRow]:
+    """The paper's modified Stop&Go (relative thresholds) vs the
+    original (absolute panic temperature + resume timeout, [5])."""
+    from repro.experiments import runner as runner_mod
+    from repro.policies.stop_go import StopAndGo
+
+    base = base or ExperimentConfig()
+    cfg = base.variant(policy="stopgo", threshold_c=threshold_c)
+    rows = [_row("modified (relative band)", run_experiment(cfg))]
+
+    original = runner_mod.make_policy
+
+    def patched(config):
+        if config.policy == "stopgo":
+            return StopAndGo(threshold_c=config.threshold_c,
+                             mode="timeout", panic_temp_c=72.0,
+                             timeout_s=1.0)
+        return original(config)
+
+    runner_mod.make_policy = patched
+    try:
+        rows.append(_row("original (panic 72C + 1s timeout)",
+                         run_experiment(cfg)))
+    finally:
+        runner_mod.make_policy = original
+    return rows
+
+
+def ablation_platform(base: Optional[ExperimentConfig] = None,
+                      threshold_c: float = 3.0) -> List[AblationRow]:
+    """Conf1 (streaming cores, 0.5 W) vs Conf2 (ARM11-class, 0.27 W)
+    under the full policy — lower-power cores leave a smaller gradient
+    to balance in the first place."""
+    base = base or ExperimentConfig()
+    rows = []
+    for platform in ("conf1", "conf2"):
+        cfg = base.variant(policy="migra", threshold_c=threshold_c,
+                           platform=platform)
+        rows.append(_row(platform, run_experiment(cfg)))
+        static = base.variant(policy="energy", threshold_c=threshold_c,
+                              platform=platform)
+        rows.append(_row(f"{platform} (no policy)",
+                         run_experiment(static)))
+    return rows
+
+
+def render(title: str, rows: List[AblationRow]) -> str:
+    return "\n".join([title] + [r.to_text() for r in rows])
+
+
+ALL_ABLATIONS: Dict[str, callable] = {
+    "candidate-filter": ablation_candidate_filter,
+    "top-k": ablation_top_k,
+    "strategy": ablation_strategy,
+    "queue-capacity": ablation_queue_capacity,
+    "sensor-period": ablation_sensor_period,
+    "sensor-noise": ablation_sensor_noise,
+    "load-jitter": ablation_load_jitter,
+    "stopgo-variant": ablation_stopgo_variant,
+    "platform": ablation_platform,
+}

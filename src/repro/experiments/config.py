@@ -1,0 +1,125 @@
+"""Experiment configuration.
+
+A single dataclass pins down everything a run needs; its default values
+reproduce the paper's setup (3 cores, Conf1 power figures, Table 2
+mapping, 12.5 s warm-up, 10 ms sensors, task-replication migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.platform.presets import CONF1_STREAMING, CONF2_ARM11, PlatformConfig
+from repro.thermal.package import (
+    HIGH_PERFORMANCE,
+    MOBILE_EMBEDDED,
+    ThermalPackageParams,
+)
+
+#: Package name -> parameter set.
+PACKAGES: Dict[str, ThermalPackageParams] = {
+    "mobile": MOBILE_EMBEDDED,
+    "highperf": HIGH_PERFORMANCE,
+}
+
+#: Platform configuration name -> preset (Table 1's Conf1/Conf2).
+PLATFORMS: Dict[str, PlatformConfig] = {
+    "conf1": CONF1_STREAMING,
+    "conf2": CONF2_ARM11,
+}
+
+#: Policy registry — names used throughout the experiments and CLI.
+POLICY_NAMES = ("migra", "stopgo", "energy", "load")
+
+#: The threshold sweep of Figs. 7-11 (distance from the mean, Celsius).
+THRESHOLD_SWEEP_C = (1.0, 2.0, 3.0, 4.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All parameters of one run.
+
+    The defaults are the paper's operating point; experiments vary
+    ``policy``, ``threshold_c`` and ``package``.
+    """
+
+    policy: str = "migra"
+    threshold_c: float = 3.0
+    package: str = "mobile"
+    platform: str = "conf1"
+    n_cores: int = 3
+
+    # Streaming application.
+    frame_period_s: float = 0.04
+    queue_capacity: int = 6
+    sink_start_delay_frames: int = 4
+    n_bands: int = 3
+    load_jitter: float = 0.0       # per-frame workload variation (+-frac)
+
+    # Phases: policy off during warm-up (the paper's "first execution
+    # phase (12.5 sec)"), measured afterwards.
+    warmup_s: float = 12.5
+    measure_s: float = 25.0
+
+    # OS / middleware.
+    quantum_s: float = 0.001
+    sensor_period_s: float = 0.01
+    sensor_noise_c: float = 0.0               # Gaussian sigma on readings
+    daemon_period_s: float = 0.1
+    migration_strategy: str = "replication"   # or "recreation"
+
+    # Policy tuning knobs (Migra phase-2 search bounds).
+    top_k: int = 3
+    max_from_hot: int = 2
+    max_from_dst: int = 1
+
+    # Safety net.
+    panic_guard: bool = True
+    panic_temp_c: float = 95.0
+
+    seed: int = 0
+    trace_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(f"unknown policy {self.policy!r}; "
+                             f"choose from {POLICY_NAMES}")
+        if self.package not in PACKAGES:
+            raise ValueError(f"unknown package {self.package!r}")
+        if self.platform not in PLATFORMS:
+            raise ValueError(f"unknown platform {self.platform!r}")
+        if self.migration_strategy not in ("replication", "recreation"):
+            raise ValueError(
+                f"unknown migration strategy {self.migration_strategy!r}")
+        if self.warmup_s < 0 or self.measure_s <= 0:
+            raise ValueError("phases must have positive duration")
+
+    # ------------------------------------------------------------------
+    @property
+    def package_params(self) -> ThermalPackageParams:
+        return PACKAGES[self.package]
+
+    @property
+    def platform_config(self) -> PlatformConfig:
+        return PLATFORMS[self.platform]
+
+    @property
+    def t_end(self) -> float:
+        return self.warmup_s + self.measure_s
+
+    def variant(self, **changes) -> "ExperimentConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity for run-matrix caching."""
+        return (self.policy, self.threshold_c, self.package, self.platform,
+                self.n_cores, self.frame_period_s, self.queue_capacity,
+                self.sink_start_delay_frames, self.n_bands,
+                self.load_jitter, self.warmup_s,
+                self.measure_s, self.quantum_s, self.sensor_period_s,
+                self.sensor_noise_c, self.daemon_period_s,
+                self.migration_strategy, self.top_k,
+                self.max_from_hot, self.max_from_dst, self.panic_guard,
+                self.panic_temp_c, self.seed)

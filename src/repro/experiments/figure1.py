@@ -1,0 +1,110 @@
+"""Figure 1 — the paper's motivating two-core example.
+
+Core 1 runs tasks A (50 % FSE) and B (40 % FSE); core 2 runs task C
+(40 % FSE).  DVFS sets core 1 to 90 % of full speed and core 2 to 40 %:
+no remapping reduces total energy further, yet core 1 runs hotter —
+*energy balanced but thermally unbalanced*.  Periodically migrating
+task B back and forth equalizes the time-averaged load (65 %/65 %) and,
+because the migration period is shorter than the thermal time constant,
+the temperatures flatten.
+
+This module reproduces the example quantitatively: it builds the
+two-core system with synthetic tasks A/B/C, measures the standing
+gradient without migration, then lets the thermal balancing policy do
+the periodic exchange and measures again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
+
+F_MAX_HZ = 533e6
+
+
+def build_fig1_graph() -> StreamGraph:
+    """A -> B -> C pipeline with the Figure 1 FSE loads (50/40/40 %)."""
+    graph = StreamGraph()
+    graph.add_task(TaskSpec("A", load_pct=50.0, at_freq_hz=F_MAX_HZ))
+    graph.add_task(TaskSpec("B", load_pct=40.0, at_freq_hz=F_MAX_HZ))
+    graph.add_task(TaskSpec("C", load_pct=40.0, at_freq_hz=F_MAX_HZ))
+    graph.connect(SOURCE, "A").connect("A", "B").connect("B", "C")
+    graph.connect("C", SINK)
+    return graph
+
+
+#: Figure 1a: tasks A and B on core 1, task C on core 2.
+FIG1_MAPPING: Dict[str, int] = {"A": 0, "B": 0, "C": 1}
+
+
+@dataclass
+class Figure1Result:
+    """Measured before/after of the Figure 1 scenario."""
+
+    freqs_before_mhz: Tuple[float, float]
+    spread_unbalanced_c: float
+    spread_balanced_c: float
+    migrations_per_s: float
+    migrated_task_names: Tuple[str, ...]
+
+    def to_text(self) -> str:
+        return "\n".join([
+            "Figure 1 — energy balanced but thermally unbalanced:",
+            f"  static DVFS frequencies: core1 = "
+            f"{self.freqs_before_mhz[0]:.0f} MHz, core2 = "
+            f"{self.freqs_before_mhz[1]:.0f} MHz",
+            f"  core spread without migration: "
+            f"{self.spread_unbalanced_c:.2f} C",
+            f"  core spread with periodic task exchange: "
+            f"{self.spread_balanced_c:.2f} C "
+            f"({self.migrations_per_s:.2f} migrations/s, tasks "
+            f"{', '.join(self.migrated_task_names)})",
+        ])
+
+
+def figure1(threshold_c: float = 1.0,
+            base: Optional[ExperimentConfig] = None) -> Figure1Result:
+    """Reproduce the Figure 1 example on the simulator."""
+    from repro.experiments import runner as runner_mod
+    from repro.streaming.application import StreamingApplication
+
+    base = base or ExperimentConfig()
+    cfg_static = base.variant(policy="energy", n_cores=2,
+                              threshold_c=threshold_c)
+    cfg_policy = base.variant(policy="migra", n_cores=2,
+                              threshold_c=threshold_c)
+
+    original_build = runner_mod.build_sdr_application
+
+    def build_fig1_app(sim, mpos, frame_period_s, queue_capacity,
+                       sink_start_delay_frames, n_bands, trace):
+        return StreamingApplication.build(
+            sim, mpos, build_fig1_graph(), dict(FIG1_MAPPING),
+            frame_period_s, queue_capacity, sink_start_delay_frames,
+            trace)
+
+    runner_mod.build_sdr_application = \
+        lambda sim, mpos, **kw: build_fig1_app(
+            sim, mpos, kw["frame_period_s"], kw["queue_capacity"],
+            kw["sink_start_delay_frames"], kw.get("n_bands", 3),
+            kw.get("trace"))
+    try:
+        static = run_experiment(cfg_static)
+        balanced = run_experiment(cfg_policy)
+    finally:
+        runner_mod.build_sdr_application = original_build
+
+    freqs = tuple(t.frequency_hz / 1e6
+                  for t in static.system.chip.tiles)
+    migrated = tuple(sorted({r.task_name
+                             for r in balanced.migration.records}))
+    return Figure1Result(
+        freqs_before_mhz=freqs,
+        spread_unbalanced_c=static.report.mean_spread_c,
+        spread_balanced_c=balanced.report.mean_spread_c,
+        migrations_per_s=balanced.report.migrations_per_s,
+        migrated_task_names=migrated)

@@ -1,0 +1,176 @@
+"""Assembles and executes one experiment run.
+
+The runner mirrors the paper's protocol (Sec. 5.2): build the 3-core
+MPSoC with the chosen package, start the SDR benchmark on the Table 2
+mapping, run the initial execution phase with the policy disabled until
+temperatures stabilize (12.5 s), then enable the policy and measure for
+the remaining time.  All figure metrics are computed over the
+measurement window only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.migrationstats import MigrationMetrics
+from repro.metrics.qosstats import QoSMetrics
+from repro.metrics.report import RunReport
+from repro.metrics.temperature import TemperatureMetrics
+from repro.mpos.migration import TaskRecreation, TaskReplication
+from repro.mpos.system import MPOS
+from repro.platform.presets import build_chip
+from repro.policies.base import ThermalPolicy
+from repro.policies.energy_balance import EnergyBalancing
+from repro.policies.guard import PanicGuard
+from repro.policies.load_balance import LoadBalancing
+from repro.policies.migra import MigraThermalBalancer
+from repro.policies.stop_go import StopAndGo
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SimRandom
+from repro.sim.trace import TraceRecorder
+from repro.streaming.application import StreamingApplication
+from repro.streaming.sdr_app import build_sdr_application
+from repro.thermal.rc_network import build_network
+from repro.thermal.sensors import ThermalSubsystem
+
+
+def make_policy(config: ExperimentConfig) -> ThermalPolicy:
+    """Instantiate the policy named in the configuration."""
+    if config.policy == "migra":
+        return MigraThermalBalancer(
+            threshold_c=config.threshold_c, top_k=config.top_k,
+            max_from_hot=config.max_from_hot,
+            max_from_dst=config.max_from_dst,
+            eval_period_s=config.daemon_period_s)
+    if config.policy == "stopgo":
+        return StopAndGo(threshold_c=config.threshold_c)
+    if config.policy == "energy":
+        return EnergyBalancing(threshold_c=config.threshold_c)
+    if config.policy == "load":
+        return LoadBalancing(threshold_c=config.threshold_c)
+    raise ValueError(f"unknown policy {config.policy!r}")
+
+
+@dataclass
+class SystemUnderTest:
+    """Everything one run instantiates (exposed for tests/examples)."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    chip: object
+    mpos: MPOS
+    sensors: ThermalSubsystem
+    app: StreamingApplication
+    policy: ThermalPolicy
+    guard: Optional[PanicGuard]
+    trace: TraceRecorder
+
+
+@dataclass
+class RunResult:
+    """Run report plus the raw objects for deeper inspection."""
+
+    report: RunReport
+    system: SystemUnderTest
+    temperature: TemperatureMetrics
+    migration: MigrationMetrics
+    qos: QoSMetrics
+
+
+def build_system(config: ExperimentConfig) -> SystemUnderTest:
+    """Construct the full stack for a configuration (not yet run)."""
+    sim = Simulator()
+    trace = TraceRecorder(enabled=config.trace_enabled)
+    chip = build_chip(lambda: sim.now, config.n_cores,
+                      config.platform_config, sim=sim)
+    network = build_network(chip.floorplan, [b.name for b in chip.blocks],
+                            config.package_params,
+                            ambient_c=config.platform_config.ambient_c)
+    sensors = ThermalSubsystem(sim, chip, network,
+                               period_s=config.sensor_period_s, trace=trace,
+                               noise_sigma_c=config.sensor_noise_c,
+                               rng=SimRandom(config.seed).fork(1))
+    strategy = TaskReplication() if config.migration_strategy == "replication" \
+        else TaskRecreation()
+    mpos = MPOS(sim, chip, quantum_s=config.quantum_s, strategy=strategy,
+                daemon_period_s=config.daemon_period_s)
+    app = build_sdr_application(
+        sim, mpos, frame_period_s=config.frame_period_s,
+        queue_capacity=config.queue_capacity,
+        sink_start_delay_frames=config.sink_start_delay_frames,
+        n_bands=config.n_bands, trace=trace,
+        load_jitter=config.load_jitter or None,
+        jitter_seed=config.seed)
+
+    policy = make_policy(config)
+    policy.attach(mpos)
+    sensors.add_listener(policy.on_temperature_update)
+
+    guard: Optional[PanicGuard] = None
+    if config.panic_guard:
+        guard = PanicGuard(panic_temp_c=config.panic_temp_c)
+        guard.attach(mpos)
+        guard.enable(0.0)
+        sensors.add_listener(guard.on_temperature_update)
+
+    return SystemUnderTest(config=config, sim=sim, chip=chip, mpos=mpos,
+                           sensors=sensors, app=app, policy=policy,
+                           guard=guard, trace=trace)
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Execute the two phases and compute the report.
+
+    Requires tracing (the temperature metrics come from the sensor
+    traces); ``trace_enabled=False`` configs are for custom harnesses
+    that compute their own metrics via :func:`build_system`.
+    """
+    if not config.trace_enabled:
+        raise ValueError("run_experiment needs trace_enabled=True; "
+                         "use build_system directly for traceless runs")
+    sut = build_system(config)
+    sim = sut.sim
+
+    # Phase 1: initial execution, policy off (temperatures stabilize).
+    sim.run_until(config.warmup_s)
+    sut.policy.enable(sim.now)
+
+    # Phase 2: policy active; figures measure this window.
+    energy_start = sut.chip.cumulative_energy_j().sum()
+    sim.run_until(config.t_end)
+    energy_j = float(sut.chip.cumulative_energy_j().sum() - energy_start)
+
+    t_from, t_to = config.warmup_s, config.t_end
+    temperature = TemperatureMetrics(sut.trace, config.n_cores, t_from, t_to)
+    migration = MigrationMetrics(sut.mpos.engine.records, t_from, t_to)
+    qos = QoSMetrics(sut.app.qos, t_from, t_to)
+
+    report = RunReport(
+        policy=sut.policy.name,
+        package=config.package_params.name,
+        threshold_c=config.threshold_c,
+        duration_s=config.measure_s,
+        pooled_std_c=temperature.pooled_std(),
+        spatial_std_c=temperature.spatial_std(),
+        temporal_std_c=temperature.temporal_std(),
+        combined_std_c=temperature.combined_std(),
+        peak_c=temperature.peak_c(),
+        max_spread_c=temperature.max_spread_c(),
+        mean_spread_c=temperature.mean_spread_c(),
+        deadline_misses=qos.deadline_misses,
+        miss_rate=qos.miss_rate,
+        source_drops=qos.source_drops,
+        migrations=migration.count,
+        migrations_per_s=migration.per_second,
+        migrated_bytes_per_s=migration.bytes_per_second,
+        mean_freeze_ms=1000.0 * migration.mean_freeze_s,
+        core_mean_c=[temperature.core_mean_c(i)
+                     for i in range(config.n_cores)],
+        frames_played=sut.app.qos.frames_played,
+        energy_j=energy_j,
+        avg_power_w=energy_j / config.measure_s,
+    )
+    return RunResult(report=report, system=sut, temperature=temperature,
+                     migration=migration, qos=qos)

@@ -1,0 +1,19 @@
+"""Measurement and reporting.
+
+Computes the paper's three metric families (Sec. 5): spatial/temporal
+temperature statistics, migration counts and data volume, and QoS
+(deadline misses), plus run-level reports used by the experiment
+harness.
+"""
+
+from repro.metrics.temperature import TemperatureMetrics
+from repro.metrics.migrationstats import MigrationMetrics
+from repro.metrics.qosstats import QoSMetrics
+from repro.metrics.report import RunReport
+
+__all__ = [
+    "MigrationMetrics",
+    "QoSMetrics",
+    "RunReport",
+    "TemperatureMetrics",
+]

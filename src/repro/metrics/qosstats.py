@@ -1,0 +1,51 @@
+"""QoS statistics over the measurement window.
+
+The figures count deadline misses only after the policy is enabled
+(the paper's measurements also start after the 12.5 s warm-up), so the
+window filter matters.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.qos import QoSTracker
+
+
+class QoSMetrics:
+    """Windowed deadline-miss view over a :class:`QoSTracker`."""
+
+    def __init__(self, qos: QoSTracker, t_from: float, t_to: float):
+        if t_to <= t_from:
+            raise ValueError("measurement window must have positive length")
+        self.qos = qos
+        self.t_from = float(t_from)
+        self.t_to = float(t_to)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Misses inside the window (Figs. 8/10 Y axis)."""
+        return self.qos.misses_in_window(self.t_from, self.t_to)
+
+    @property
+    def misses_per_second(self) -> float:
+        return self.deadline_misses / (self.t_to - self.t_from)
+
+    @property
+    def frames_expected(self) -> int:
+        """Playback deadlines that fell inside the window."""
+        # The sink pops once per frame period; misses + plays == pops.
+        return self.deadline_misses + self.frames_played
+
+    @property
+    def frames_played(self) -> int:
+        # Plays are not timestamped individually; derive from totals
+        # when the window covers the whole measured phase.
+        return self.qos.frames_played
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.frames_expected
+        return self.deadline_misses / total if total else 0.0
+
+    @property
+    def source_drops(self) -> int:
+        return self.qos.source_drops

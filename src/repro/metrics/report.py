@@ -1,0 +1,98 @@
+"""Run-level reports.
+
+A :class:`RunReport` condenses one simulation run (policy x threshold x
+package) into the numbers the paper's figures plot, with text and JSON
+renderers used by the CLI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunReport:
+    """Summary of one experiment run."""
+
+    policy: str
+    package: str
+    threshold_c: float
+    duration_s: float
+
+    # Temperature family (Figs. 7/9).  ``pooled_std_c`` is the headline
+    # "temperature standard deviation" (spatial + temporal).
+    pooled_std_c: float = 0.0
+    spatial_std_c: float = 0.0
+    temporal_std_c: float = 0.0
+    combined_std_c: float = 0.0
+    peak_c: float = 0.0
+    max_spread_c: float = 0.0
+    mean_spread_c: float = 0.0
+
+    # QoS family (Figs. 8/10).
+    deadline_misses: int = 0
+    miss_rate: float = 0.0
+    source_drops: int = 0
+
+    # Migration family (Fig. 11).
+    migrations: int = 0
+    migrations_per_s: float = 0.0
+    migrated_bytes_per_s: float = 0.0
+    mean_freeze_ms: float = 0.0
+
+    # Energy family (the policy's constraint: balancing must not cost
+    # energy).
+    energy_j: float = 0.0
+    avg_power_w: float = 0.0
+
+    # Bookkeeping.
+    core_mean_c: List[float] = field(default_factory=list)
+    frames_played: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    HEADER = (f"{'policy':<16}{'pkg':<14}{'theta':>6}{'T.std':>8}"
+              f"{'misses':>8}{'migr/s':>8}{'KB/s':>8}{'peak C':>8}")
+
+    def to_row(self) -> str:
+        """One fixed-width table row (pairs with :attr:`HEADER`)."""
+        return (f"{self.policy:<16}{self.package:<14}"
+                f"{self.threshold_c:>6.1f}{self.pooled_std_c:>8.3f}"
+                f"{self.deadline_misses:>8d}{self.migrations_per_s:>8.2f}"
+                f"{self.migrated_bytes_per_s / 1024:>8.1f}"
+                f"{self.peak_c:>8.2f}")
+
+    def to_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"policy={self.policy} package={self.package} "
+            f"theta={self.threshold_c:.1f}C duration={self.duration_s:.1f}s",
+            f"  temperature: pooled std {self.pooled_std_c:.3f} C, "
+            f"spatial std {self.spatial_std_c:.3f} C, "
+            f"temporal std {self.temporal_std_c:.3f} C, "
+            f"peak {self.peak_c:.2f} C, "
+            f"mean spread {self.mean_spread_c:.2f} C",
+            f"  qos: {self.deadline_misses} deadline misses "
+            f"({100 * self.miss_rate:.2f}%), {self.frames_played} played, "
+            f"{self.source_drops} source drops",
+            f"  migration: {self.migrations} total "
+            f"({self.migrations_per_s:.2f}/s, "
+            f"{self.migrated_bytes_per_s / 1024:.1f} KB/s, "
+            f"mean freeze {self.mean_freeze_ms:.1f} ms)",
+            f"  energy: {self.energy_j:.2f} J over the window "
+            f"({self.avg_power_w:.3f} W average)",
+        ]
+        if self.core_mean_c:
+            temps = ", ".join(f"core{i}={t:.2f}C"
+                              for i, t in enumerate(self.core_mean_c))
+            lines.append(f"  core means: {temps}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """All fields as plain Python types (JSON-serializable)."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering for downstream tooling (``repro run --json``)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,143 @@
+"""Temperature statistics over sensor traces.
+
+The paper's first metric is the "spatial and temporal variance of the
+temperatures of the processors".  From the per-core sensor series we
+compute:
+
+* **spatial std** — at each sensor tick, the standard deviation of the
+  core temperatures around the instantaneous chip mean; reported as its
+  time average.  This is the headline "temperature standard deviation"
+  of Figs. 7 and 9 (a thermally balanced chip has all cores at the
+  mean, i.e. spatial std -> 0).
+* **temporal std** — each core's standard deviation around its own time
+  mean, averaged over cores (captures the oscillation that Stop&Go's
+  duty-cycling and migration ping-pong introduce).
+* auxiliary numbers: peak temperature, maximum instantaneous spread,
+  time spent outside a band around the mean.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+class TemperatureMetrics:
+    """Aligned per-core temperature series over a measurement window."""
+
+    def __init__(self, trace: TraceRecorder, n_cores: int,
+                 t_from: float = 0.0, t_to: float = float("inf")):
+        series = []
+        times: Optional[List[float]] = None
+        for i in range(n_cores):
+            samples = trace.window(f"temp.core{i}", t_from, t_to)
+            if times is None:
+                times = [t for t, _ in samples]
+            elif len(samples) != len(times):
+                raise ValueError(
+                    "core temperature series are not aligned; sensors "
+                    "must sample all cores at the same ticks")
+            series.append([v for _, v in samples])
+        if times is None or not times:
+            raise ValueError("no temperature samples in the window")
+        self.times = np.asarray(times)
+        #: Matrix of shape (n_samples, n_cores).
+        self.temps = np.asarray(series, dtype=float).T
+        self.n_cores = n_cores
+
+    # ------------------------------------------------------------------
+    # headline metrics
+    # ------------------------------------------------------------------
+    @property
+    def chip_mean_series(self) -> np.ndarray:
+        return self.temps.mean(axis=1)
+
+    @property
+    def spatial_std_series(self) -> np.ndarray:
+        """Instantaneous across-core standard deviation, per sample."""
+        return self.temps.std(axis=1)
+
+    def spatial_std(self) -> float:
+        """Time-averaged spatial standard deviation (Figs. 7/9 metric)."""
+        return float(self.spatial_std_series.mean())
+
+    def temporal_std(self) -> float:
+        """Mean over cores of each core's std around its own time mean."""
+        return float(self.temps.std(axis=0).mean())
+
+    def combined_std(self) -> float:
+        """Pooled deviation from the instantaneous chip mean (RMS)."""
+        dev = self.temps - self.chip_mean_series[:, None]
+        return float(np.sqrt(np.mean(dev ** 2)))
+
+    def pooled_std(self) -> float:
+        """Standard deviation of *all* samples around the grand mean.
+
+        Captures both the spatial spread and every core's temporal
+        wander (including whole-chip drift) in one number — the
+        "spatial and temporal variance" the paper reports; this is the
+        headline metric of Figs. 7 and 9.
+        """
+        return float(self.temps.std())
+
+    # ------------------------------------------------------------------
+    # auxiliary metrics
+    # ------------------------------------------------------------------
+    def peak_c(self) -> float:
+        return float(self.temps.max())
+
+    def max_spread_c(self) -> float:
+        """Largest instantaneous hottest-to-coolest spread."""
+        return float((self.temps.max(axis=1) - self.temps.min(axis=1)).max())
+
+    def mean_spread_c(self) -> float:
+        return float((self.temps.max(axis=1) - self.temps.min(axis=1)).mean())
+
+    def core_mean_c(self, core: int) -> float:
+        return float(self.temps[:, core].mean())
+
+    def time_outside_band(self, threshold_c: float) -> float:
+        """Fraction of samples where some core deviates more than
+        ``threshold_c`` from the instantaneous mean — how often the
+        policy's band constraint is violated."""
+        dev = np.abs(self.temps - self.chip_mean_series[:, None])
+        return float((dev.max(axis=1) > threshold_c).mean())
+
+    def first_time_balanced(self, threshold_c: float,
+                            hold_s: float = 0.5) -> Optional[float]:
+        """Earliest time after which all cores stay within
+        ``threshold_c`` of the mean for at least ``hold_s`` seconds.
+        Used for the Sec. 5.2 claim that balance is reached within ~1 s
+        of enabling the policy.  Returns None if never."""
+        dev = np.abs(self.temps - self.chip_mean_series[:, None]).max(axis=1)
+        inside = dev <= threshold_c
+        if not inside.any():
+            return None
+        dt = float(np.median(np.diff(self.times))) if len(self.times) > 1 \
+            else 0.0
+        need = max(1, int(round(hold_s / dt))) if dt > 0 else 1
+        run = 0
+        for k, ok in enumerate(inside):
+            run = run + 1 if ok else 0
+            if run >= need:
+                return float(self.times[k - need + 1])
+        return None
+
+    def longest_excursion_above(self, upper_series_margin_c: float) -> float:
+        """Longest contiguous time any core spends above
+        ``mean + margin`` — the paper reports the hottest core exceeds
+        the upper threshold for under 400 ms while balancing."""
+        dev = self.temps - self.chip_mean_series[:, None]
+        above = (dev > upper_series_margin_c).any(axis=1)
+        if len(self.times) < 2:
+            return 0.0
+        dt = float(np.median(np.diff(self.times)))
+        longest = 0
+        run = 0
+        for ok in above:
+            run = run + 1 if ok else 0
+            longest = max(longest, run)
+        return longest * dt

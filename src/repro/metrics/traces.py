@@ -1,0 +1,95 @@
+"""Trace export and lightweight terminal visualization.
+
+Every run records named time series (core temperatures, QoS events)
+through the :class:`~repro.sim.trace.TraceRecorder`.  This module turns
+them into artifacts: CSV export for external plotting, and ASCII
+sparklines so ``repro run --show-trace`` can show the temperature
+dynamics directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional, Sequence
+
+from repro.sim.trace import TraceRecorder
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def export_csv(trace: TraceRecorder, keys: Sequence[str],
+               path: Optional[str] = None) -> str:
+    """Write aligned series to CSV; returns the CSV text.
+
+    Series are merged on their timestamps (union, sorted); a series
+    without a sample at some timestamp gets an empty cell — robust to
+    traces recorded at different rates.
+    """
+    keys = list(keys)
+    missing = [k for k in keys if k not in trace]
+    if missing:
+        raise KeyError(f"series not recorded: {missing}")
+    by_key = {k: dict(trace.series(k)) for k in keys}
+    times = sorted({t for k in keys for t, _v in trace.series(k)})
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time_s"] + keys)
+    for t in times:
+        row = [f"{t:.6f}"]
+        for k in keys:
+            v = by_key[k].get(t)
+            row.append("" if v is None else f"{v:.6f}")
+        writer.writerow(row)
+    text = buf.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def sparkline(values: Sequence[float], width: int = 72,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Compress ``values`` into a ``width``-character sparkline."""
+    values = list(values)
+    if not values:
+        return ""
+    # Downsample by bucket means so long runs fit the terminal.
+    n = len(values)
+    width = min(width, n)
+    buckets = []
+    for i in range(width):
+        start = i * n // width
+        end = max(start + 1, (i + 1) * n // width)
+        chunk = values[start:end]
+        buckets.append(sum(chunk) / len(chunk))
+    lo = min(buckets) if lo is None else lo
+    hi = max(buckets) if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    out = []
+    for v in buckets:
+        idx = int((v - lo) / span * (len(_SPARK) - 1) + 0.5)
+        out.append(_SPARK[min(max(idx, 0), len(_SPARK) - 1)])
+    return "".join(out)
+
+
+def render_core_temperatures(trace: TraceRecorder, n_cores: int,
+                             t_from: float = 0.0,
+                             t_to: float = float("inf"),
+                             width: int = 72) -> str:
+    """One sparkline per core on a shared temperature scale."""
+    series = []
+    for i in range(n_cores):
+        samples = trace.window(f"temp.core{i}", t_from, t_to)
+        if not samples:
+            raise KeyError(f"no samples for core {i} in the window")
+        series.append([v for _, v in samples])
+    lo = min(min(s) for s in series)
+    hi = max(max(s) for s in series)
+    lines = [f"core temperatures ({lo:.1f}..{hi:.1f} C):"]
+    for i, values in enumerate(series):
+        lines.append(f"  core{i} {sparkline(values, width, lo, hi)} "
+                     f"[{values[-1]:.1f} C]")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Master/slave migration daemons and the shared statistics board.
+
+"To assist migration decision, each slave daemon writes in a shared data
+structure the statistics related to local task execution (e.g. processor
+utilization and memory occupation of each task), which are periodically
+read by the master daemon." (Sec. 3.2)
+
+Policies read this board — not the live task objects — so their view of
+utilization is exactly as stale as the daemon period, like on the real
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mpos.system import MPOS
+
+
+@dataclass(frozen=True)
+class TaskStat:
+    """One row of the shared statistics structure."""
+
+    name: str
+    core_index: int
+    utilization: float       # fraction of the core's current frequency
+    demand_hz: float         # measured cycle rate over the window
+    context_bytes: int       # memory occupation (migration cost driver)
+
+
+class StatsBoard:
+    """The shared-memory data structure the daemons communicate through."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[str, TaskStat] = {}
+        self.updated_at = 0.0
+
+    def write(self, stat: TaskStat, now: float) -> None:
+        self._rows[stat.name] = stat
+        self.updated_at = now
+
+    def snapshot(self) -> Dict[str, TaskStat]:
+        """A copy of the board (what the master daemon reads)."""
+        return dict(self._rows)
+
+    def rows_for_core(self, core_index: int) -> List[TaskStat]:
+        return [s for s in self._rows.values()
+                if s.core_index == core_index]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class SlaveDaemon:
+    """Per-core statistics writer.
+
+    Every ``period_s`` it measures each local task's executed cycles
+    since the previous tick and publishes utilization (relative to the
+    core's current frequency) and memory occupation.
+    """
+
+    def __init__(self, mpos: "MPOS", core_index: int, board: StatsBoard,
+                 period_s: float = 0.1):
+        self.mpos = mpos
+        self.core_index = core_index
+        self.board = board
+        self.period_s = float(period_s)
+        self._last_cycles: Dict[str, float] = {}
+        self._process = PeriodicProcess(mpos.sim, self.period_s, self._tick)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _tick(self, _process: PeriodicProcess) -> None:
+        now = self.mpos.sim.now
+        f = self.mpos.chip.tile(self.core_index).frequency_hz
+        for task in self.mpos.tasks_on_core(self.core_index):
+            prev = self._last_cycles.get(task.name, 0.0)
+            used = task.total_cycles - prev
+            self._last_cycles[task.name] = task.total_cycles
+            demand = used / self.period_s
+            self.board.write(TaskStat(
+                name=task.name, core_index=self.core_index,
+                utilization=demand / f, demand_hz=demand,
+                context_bytes=task.context_bytes), now)
+
+
+class MasterDaemon:
+    """The dispatcher-side reader (runs on core 0 in the paper).
+
+    Thin by design: policies call :meth:`snapshot` to obtain the view a
+    real master daemon would have.
+    """
+
+    def __init__(self, mpos: "MPOS", board: StatsBoard):
+        self.mpos = mpos
+        self.board = board
+
+    def snapshot(self) -> Dict[str, TaskStat]:
+        return self.board.snapshot()
+
+    def utilization_of_core(self, core_index: int) -> float:
+        return sum(s.utilization
+                   for s in self.board.rows_for_core(core_index))

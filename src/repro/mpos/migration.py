@@ -1,0 +1,261 @@
+"""Task migration middleware: strategies, cost models and the engine.
+
+Implements Sec. 3.2 of the paper.  Two mechanisms are provided:
+
+* **task-replication** — a replica of the task exists in every local OS;
+  migration only moves the process context through shared memory and
+  runs a daemon handshake.  Fast, costs memory.
+* **task-recreation** — fork-exec on the destination: on top of the
+  context transfer, the program image is reloaded from the file system
+  (slow, contended), giving the larger offset *and* the steeper slope of
+  Fig. 2.
+
+A migration proceeds exactly as in the paper: the master daemon signals
+the slave daemon on the source core, the task runs to its next
+checkpoint and freezes, the context crosses the shared memory (the bus
+model applies contention), and the task resumes on the destination,
+after which the DVFS governor re-fits both cores' frequencies.  The
+wall-clock freeze is what depletes the software-pipeline queues and
+causes the deadline misses of Figs. 8/10.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.mpos.task import StreamTask
+from repro.platform.bus import SharedBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.mpos.system import MPOS
+
+
+class MigrationStrategy(abc.ABC):
+    """Cost/behaviour interface of a migration mechanism."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def transfer_bytes(self, task: StreamTask) -> int:
+        """Bytes moved through the shared memory for the context."""
+
+    @abc.abstractmethod
+    def overhead_cycles(self, task: StreamTask) -> float:
+        """Fixed CPU overhead (daemon sync, fork/exec) in cycles."""
+
+    @abc.abstractmethod
+    def reload_seconds(self, task: StreamTask) -> float:
+        """Extra serial phase (e.g. file-system code reload)."""
+
+    def estimated_cost_cycles(self, task_bytes: int, f_hz: float,
+                              bus: SharedBus) -> float:
+        """Analytic migration cost in processor cycles (Fig. 2 model).
+
+        ``cycles = overhead + f * (bus transfer time + reload time)``
+        for a task of the given size; used both to regenerate Fig. 2 and
+        by policies that want a cost estimate without migrating.
+        """
+        probe = StreamTask("__probe__", 1.0, 1.0, context_bytes=task_bytes,
+                           code_bytes=task_bytes)
+        wall = (bus.transfer_time_alone(self.transfer_bytes(probe))
+                + self.reload_seconds(probe))
+        return self.overhead_cycles(probe) + f_hz * wall
+
+
+class TaskReplication(MigrationStrategy):
+    """Pre-allocated replicas; only the context moves (fast path).
+
+    ``sync_cycles`` covers the master/slave daemon handshake and the
+    PCB bookkeeping on both OSes.
+    """
+
+    name = "task-replication"
+
+    def __init__(self, sync_cycles: float = 0.5e6):
+        if sync_cycles < 0:
+            raise ValueError("sync_cycles must be non-negative")
+        self.sync_cycles = float(sync_cycles)
+
+    def transfer_bytes(self, task: StreamTask) -> int:
+        return task.context_bytes
+
+    def overhead_cycles(self, task: StreamTask) -> float:
+        return self.sync_cycles
+
+    def reload_seconds(self, task: StreamTask) -> float:
+        return 0.0
+
+
+class TaskRecreation(MigrationStrategy):
+    """Kill + fork-exec from scratch on the destination core.
+
+    Needs dynamic loading (uClinux) and position-independent code; the
+    paper could not use it on MicroBlaze but measures its cost curve.
+    ``exec_cycles`` is the fork-exec offset; the program image reload
+    runs at file-system bandwidth, well below the bus, producing the
+    steeper slope of Fig. 2.
+    """
+
+    name = "task-recreation"
+
+    def __init__(self, exec_cycles: float = 4.0e6,
+                 fs_bandwidth_bps: float = 16e6):
+        if exec_cycles < 0:
+            raise ValueError("exec_cycles must be non-negative")
+        if fs_bandwidth_bps <= 0:
+            raise ValueError("fs_bandwidth_bps must be positive")
+        self.exec_cycles = float(exec_cycles)
+        self.fs_bandwidth_bps = float(fs_bandwidth_bps)
+
+    def transfer_bytes(self, task: StreamTask) -> int:
+        return task.context_bytes
+
+    def overhead_cycles(self, task: StreamTask) -> float:
+        return self.exec_cycles
+
+    def reload_seconds(self, task: StreamTask) -> float:
+        return task.code_bytes / self.fs_bandwidth_bps
+
+
+@dataclass
+class MigrationRecord:
+    """One completed migration (feeds the Fig. 11 statistics)."""
+
+    task_name: str
+    src_core: int
+    dst_core: int
+    bytes_moved: int
+    requested_at: float
+    frozen_at: float
+    completed_at: float
+
+    @property
+    def freeze_duration_s(self) -> float:
+        """Wall time the task spent frozen (the QoS-relevant cost)."""
+        return self.completed_at - self.frozen_at
+
+    @property
+    def checkpoint_wait_s(self) -> float:
+        """Time between the request and the checkpoint freeze."""
+        return self.frozen_at - self.requested_at
+
+
+@dataclass
+class MigrationPlan:
+    """A set of task moves decided by a policy in one trigger.
+
+    ``moves`` maps each task to its destination core.  A plan between a
+    hot and a cold core may move tasks in both directions (the paper's
+    phase 2 *exchanges* task sets).
+    """
+
+    moves: List[tuple]                 # (StreamTask, dst_core)
+    reason: str = ""
+    triggered_by: Optional[int] = None  # core index that crossed a threshold
+
+    def total_bytes(self) -> int:
+        return sum(t.context_bytes for t, _ in self.moves)
+
+
+class MigrationEngine:
+    """Executes migration plans through the checkpoint protocol."""
+
+    def __init__(self, mpos: "MPOS", strategy: MigrationStrategy):
+        self.mpos = mpos
+        self.strategy = strategy
+        self.records: List[MigrationRecord] = []
+        self.plans_completed = 0
+        self._active_plan: Optional[MigrationPlan] = None
+        self._pending: Dict[str, dict] = {}
+        self._plan_listeners: List[Callable[[MigrationPlan], None]] = []
+        for sched in mpos.schedulers:
+            sched.set_freeze_callback(self._on_task_frozen)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a plan is in flight (policies trigger one at a
+        time, as the paper's algorithm moves tasks between exactly two
+        processors per trigger)."""
+        return self._active_plan is not None
+
+    def add_plan_listener(self,
+                          listener: Callable[[MigrationPlan], None]) -> None:
+        """``listener(plan)`` fires when a whole plan has completed."""
+        self._plan_listeners.append(listener)
+
+    def request_plan(self, plan: MigrationPlan) -> None:
+        """Start executing a plan; raises if one is already in flight."""
+        if self.busy:
+            raise RuntimeError("a migration plan is already in flight")
+        if not plan.moves:
+            raise ValueError("empty migration plan")
+        now = self.mpos.sim.now
+        self._active_plan = plan
+        for task, dst in plan.moves:
+            if task.migration_pending:
+                raise RuntimeError(f"task {task.name} already migrating")
+            src = task.core_index
+            if src == dst:
+                raise ValueError(f"task {task.name}: src == dst == {dst}")
+            task.migration_target = dst
+            self._pending[task.name] = {"task": task, "src": src,
+                                        "dst": dst, "requested_at": now}
+            # A task parked at a checkpoint can freeze right away;
+            # otherwise the scheduler freezes it at the next checkpoint.
+            self.mpos.scheduler(src).freeze_now(task)
+
+    def migrations_per_second(self, t_from: float, t_to: float) -> float:
+        """Completed-migration rate over a window (Fig. 11 metric)."""
+        if t_to <= t_from:
+            raise ValueError("empty window")
+        n = sum(1 for r in self.records
+                if t_from <= r.completed_at <= t_to)
+        return n / (t_to - t_from)
+
+    # ------------------------------------------------------------------
+    # protocol steps
+    # ------------------------------------------------------------------
+    def _on_task_frozen(self, task: StreamTask) -> None:
+        info = self._pending.get(task.name)
+        if info is None:
+            return
+        info["frozen_at"] = self.mpos.sim.now
+        src = info["src"]
+        f_src = self.mpos.chip.tile(src).frequency_hz
+        sync_s = self.strategy.overhead_cycles(task) / f_src
+        reload_s = self.strategy.reload_seconds(task)
+        # Daemon handshake (+ fork/exec, fs reload) precedes the bus
+        # transfer of the context through shared memory.
+        self.mpos.sim.schedule(sync_s + reload_s,
+                               self._start_transfer, task)
+
+    def _start_transfer(self, task: StreamTask) -> None:
+        nbytes = self.strategy.transfer_bytes(task)
+        self.mpos.chip.bus.start_transfer(
+            nbytes, lambda _t: self._on_transfer_done(task),
+            label=f"migrate:{task.name}")
+
+    def _on_transfer_done(self, task: StreamTask) -> None:
+        info = self._pending.pop(task.name)
+        src, dst = info["src"], info["dst"]
+        task.migration_target = None
+        task.migrations += 1
+        self.mpos.move_task(task, dst)
+        self.records.append(MigrationRecord(
+            task_name=task.name, src_core=src, dst_core=dst,
+            bytes_moved=self.strategy.transfer_bytes(task),
+            requested_at=info["requested_at"],
+            frozen_at=info["frozen_at"],
+            completed_at=self.mpos.sim.now))
+        if not self._pending:
+            plan = self._active_plan
+            self._active_plan = None
+            self.plans_completed += 1
+            if plan is not None:
+                for listener in self._plan_listeners:
+                    listener(plan)

@@ -1,0 +1,316 @@
+"""Per-core round-robin scheduler.
+
+Each core runs its own OS instance (uClinux in the paper); we model its
+scheduler as round-robin with a fixed time quantum over the streaming
+tasks mapped to the core.  The scheduler owns the task state machine:
+
+* ``ACQUIRE`` — pop one frame from every input queue (all-or-nothing;
+  blocks as ``BLOCKED_INPUT`` if any queue is empty),
+* ``COMPUTE`` — burn ``cycles_per_frame`` on the core, in quantum-sized
+  slices whose wall duration depends on the current DVFS frequency,
+* ``EMIT`` — push one frame to every output queue (partial progress is
+  kept; blocks as ``BLOCKED_OUTPUT`` on the full ones),
+
+and between iterations the **checkpoint**, where pending migration
+requests freeze the task (Sec. 3.2).  Stop&Go's core gating and DVFS
+frequency changes both preempt the current slice and re-account the
+partially executed cycles exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.mpos.task import StreamTask, TaskPhase, TaskState
+from repro.platform.chip import Chip
+from repro.sim.kernel import Event, Simulator
+
+#: Cycle slack below which a compute phase counts as finished (absorbs
+#: floating-point dust from partial-slice accounting).
+CYCLE_EPS = 0.5
+
+FreezeCallback = Callable[[StreamTask], None]
+
+
+class CoreScheduler:
+    """Round-robin scheduler for one tile.
+
+    Parameters
+    ----------
+    sim, chip, tile_index:
+        Kernel, hardware and the tile this scheduler drives.
+    quantum_s:
+        Round-robin time slice (wall-clock; uClinux-style timer tick).
+    """
+
+    def __init__(self, sim: Simulator, chip: Chip, tile_index: int,
+                 quantum_s: float = 0.001):
+        if quantum_s <= 0:
+            raise ValueError("quantum must be positive")
+        self.sim = sim
+        self.chip = chip
+        self.tile_index = tile_index
+        self.quantum_s = float(quantum_s)
+
+        self.run_q: Deque[StreamTask] = deque()
+        self.current: Optional[StreamTask] = None
+        self.gated = False
+        self._freeze_cb: Optional[FreezeCallback] = None
+
+        self._slice_event: Optional[Event] = None
+        self._slice_started = 0.0
+        self._slice_f_hz = 0.0
+        self._slice_planned_cycles = 0.0
+
+        self.context_switches = 0
+        self.slices_run = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def set_freeze_callback(self, cb: FreezeCallback) -> None:
+        """Called with a task the moment it freezes for migration."""
+        self._freeze_cb = cb
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.chip.tile(self.tile_index).frequency_hz
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    # ------------------------------------------------------------------
+    # task admission / removal
+    # ------------------------------------------------------------------
+    def attach_task(self, task: StreamTask) -> None:
+        """Admit a task to this core (fresh, or arriving via migration)."""
+        task.core_index = self.tile_index
+        if task.state in (TaskState.NEW, TaskState.FROZEN):
+            # Both enter at an iteration boundary.
+            task.phase = TaskPhase.ACQUIRE
+            self._try_start_iteration(task)
+        elif task.state is TaskState.READY:
+            self.run_q.append(task)
+            self._maybe_dispatch()
+        else:
+            raise ValueError(
+                f"cannot attach task {task.name} in state {task.state}")
+
+    def detach_task(self, task: StreamTask) -> None:
+        """Remove a task from this core's structures (not from queues it
+        is registered on — the caller handles that for blocked tasks)."""
+        if task is self.current:
+            self._preempt_current(to_front=False, requeue=False)
+        if task in self.run_q:
+            self.run_q.remove(task)
+
+    # ------------------------------------------------------------------
+    # queue wake-ups (called via MPOS routing)
+    # ------------------------------------------------------------------
+    def try_unblock_input(self, task: StreamTask) -> None:
+        if task.state is not TaskState.BLOCKED_INPUT:
+            return
+        if any(q.is_empty for q in task.inputs):
+            return
+        for q in task.inputs:
+            q.remove_waiter(task)
+        self._acquire_frames(task)
+        self._make_ready(task)
+
+    def try_unblock_output(self, task: StreamTask) -> None:
+        if task.state is not TaskState.BLOCKED_OUTPUT:
+            return
+        self._try_emit(task)
+
+    # ------------------------------------------------------------------
+    # migration support
+    # ------------------------------------------------------------------
+    def freeze_now(self, task: StreamTask) -> bool:
+        """Freeze a task sitting at a checkpoint (blocked in ACQUIRE).
+
+        Returns True if frozen; False if the task is mid-iteration and
+        must reach its next checkpoint first.
+        """
+        if not task.at_checkpoint or task.state is not TaskState.BLOCKED_INPUT:
+            return False
+        for q in task.inputs:
+            q.remove_waiter(task)
+        self._freeze(task)
+        return True
+
+    # ------------------------------------------------------------------
+    # Stop&Go gating
+    # ------------------------------------------------------------------
+    def gate(self) -> None:
+        """Halt execution on this core (thermal shutdown)."""
+        if self.gated:
+            return
+        if self.current is not None:
+            self._preempt_current(to_front=True, requeue=True)
+        self.gated = True
+        self.chip.set_tile_active(self.tile_index, False)
+        self.chip.set_tile_gated(self.tile_index, True)
+
+    def ungate(self) -> None:
+        """Resume execution after a thermal shutdown."""
+        if not self.gated:
+            return
+        self.gated = False
+        self.chip.set_tile_gated(self.tile_index, False)
+        self._maybe_dispatch()
+
+    # ------------------------------------------------------------------
+    # DVFS interaction
+    # ------------------------------------------------------------------
+    def on_frequency_changed(self) -> None:
+        """Re-plan the in-flight slice after an OPP change.
+
+        The partially executed cycles are charged at the *old* frequency
+        captured at slice start, then the remainder is re-scheduled at
+        the new frequency.
+        """
+        if self.current is None or self._slice_event is None:
+            return
+        self._charge_partial_slice()
+        self._begin_slice()
+
+    # ------------------------------------------------------------------
+    # internals — iteration state machine
+    # ------------------------------------------------------------------
+    def _try_start_iteration(self, task: StreamTask) -> None:
+        """ACQUIRE: pop every input or block waiting for frames."""
+        if any(q.is_empty for q in task.inputs):
+            task.state = TaskState.BLOCKED_INPUT
+            for q in task.inputs:
+                if q.is_empty:
+                    q.add_waiting_consumer(task)
+            return
+        self._acquire_frames(task)
+        self._make_ready(task)
+
+    def _acquire_frames(self, task: StreamTask) -> None:
+        task.current_frames = [q.pop() for q in task.inputs]
+        task.phase = TaskPhase.COMPUTE
+        task.remaining_cycles = task.draw_frame_cycles()
+
+    def _make_ready(self, task: StreamTask) -> None:
+        task.state = TaskState.READY
+        self.run_q.append(task)
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        if self.gated or self.current is not None:
+            return
+        if not self.run_q:
+            self.chip.set_tile_active(self.tile_index, False)
+            return
+        task = self.run_q.popleft()
+        task.state = TaskState.RUNNING
+        self.current = task
+        self.context_switches += 1
+        self._begin_slice()
+
+    def _begin_slice(self) -> None:
+        task = self.current
+        assert task is not None and task.phase is TaskPhase.COMPUTE
+        f = self.frequency_hz
+        planned = min(self.quantum_s * f, max(task.remaining_cycles, 0.0))
+        self._slice_started = self.sim.now
+        self._slice_f_hz = f
+        self._slice_planned_cycles = planned
+        self.chip.set_tile_active(self.tile_index, True)
+        self._slice_event = self.sim.schedule(planned / f, self._end_slice)
+        self.slices_run += 1
+
+    def _end_slice(self) -> None:
+        task = self.current
+        assert task is not None
+        self._slice_event = None
+        task.remaining_cycles -= self._slice_planned_cycles
+        task.total_cycles += self._slice_planned_cycles
+
+        if task.remaining_cycles <= CYCLE_EPS:
+            self.current = None
+            self._complete_compute(task)
+            self._maybe_dispatch()
+        elif self.run_q:
+            # Quantum expired with competitors waiting: round-robin.
+            task.state = TaskState.READY
+            self.run_q.append(task)
+            self.current = None
+            self._maybe_dispatch()
+        else:
+            self._begin_slice()
+
+    def _complete_compute(self, task: StreamTask) -> None:
+        task.remaining_cycles = 0.0
+        task.phase = TaskPhase.EMIT
+        task.pending_outputs = list(task.outputs)
+        self._try_emit(task)
+
+    def _try_emit(self, task: StreamTask) -> None:
+        frame = task.current_frames[0] if task.current_frames \
+            else task.frames_done
+        still_full = []
+        for q in task.pending_outputs:
+            if q.push(frame):
+                q.remove_waiter(task)
+            else:
+                still_full.append(q)
+        task.pending_outputs = still_full
+        if still_full:
+            task.state = TaskState.BLOCKED_OUTPUT
+            for q in still_full:
+                q.add_waiting_producer(task)
+            return
+        task.frames_done += 1
+        task.current_frames = []
+        self._at_checkpoint(task)
+
+    def _at_checkpoint(self, task: StreamTask) -> None:
+        """Between iterations: honour migration requests, else loop."""
+        task.phase = TaskPhase.ACQUIRE
+        if task.migration_pending:
+            self._freeze(task)
+            return
+        self._try_start_iteration(task)
+
+    def _freeze(self, task: StreamTask) -> None:
+        task.state = TaskState.FROZEN
+        if self._freeze_cb is not None:
+            self._freeze_cb(task)
+
+    # ------------------------------------------------------------------
+    # internals — slice accounting
+    # ------------------------------------------------------------------
+    def _charge_partial_slice(self) -> None:
+        """Account the elapsed fraction of the in-flight slice."""
+        assert self.current is not None and self._slice_event is not None
+        self._slice_event.cancel()
+        self._slice_event = None
+        elapsed = self.sim.now - self._slice_started
+        done = min(elapsed * self._slice_f_hz, self._slice_planned_cycles)
+        self.current.remaining_cycles -= done
+        self.current.total_cycles += done
+
+    def _preempt_current(self, to_front: bool, requeue: bool) -> None:
+        task = self.current
+        assert task is not None
+        if self._slice_event is not None:
+            self._charge_partial_slice()
+        task.state = TaskState.READY
+        self.current = None
+        self.chip.set_tile_active(self.tile_index, False)
+        if requeue:
+            if to_front:
+                self.run_q.appendleft(task)
+            else:
+                self.run_q.append(task)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cur = self.current.name if self.current else "-"
+        state = "gated" if self.gated else "run"
+        return (f"<CoreScheduler {self.tile_index} [{state}] cur={cur} "
+                f"q={[t.name for t in self.run_q]}>")

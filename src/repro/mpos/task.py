@@ -1,0 +1,168 @@
+"""The streaming task model.
+
+Each task is a process in the paper's sense: an infinite loop of
+``read input queues -> compute -> write output queues`` with a
+user-visible **checkpoint** between iterations, which is the only point
+where a migration request may take effect (Sec. 3.2).
+
+Work is expressed as a fixed cycle budget per frame.  A task's
+*full-speed-equivalent* (FSE) load — the paper's task metric — follows as
+``cycles_per_frame / frame_period / f_max``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+#: The minimum memory space the OS allocates per migratable task; the
+#: paper states every migration moves at least 64 KB (Sec. 5.2).
+MIN_CONTEXT_BYTES = 64 * 1024
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a streaming task."""
+
+    NEW = "new"                      # created, not yet mapped
+    READY = "ready"                  # runnable, waiting in a run queue
+    RUNNING = "running"              # currently holding a core
+    BLOCKED_INPUT = "blocked_input"  # waiting for a frame on an input
+    BLOCKED_OUTPUT = "blocked_output"  # waiting for space on an output
+    FROZEN = "frozen"                # suspended for migration
+
+
+class TaskPhase(enum.Enum):
+    """Position inside the read-compute-write iteration."""
+
+    ACQUIRE = "acquire"
+    COMPUTE = "compute"
+    EMIT = "emit"
+
+
+class StreamTask:
+    """One migratable streaming process.
+
+    Parameters
+    ----------
+    name:
+        Unique task name (e.g. ``"BPF1"``).
+    cycles_per_frame:
+        Processor cycles needed to process one frame.
+    frame_period_s:
+        The application frame period (sets the task's rate demand).
+    context_bytes:
+        Process context transferred on migration; clamped up to the
+        64 KB OS minimum like in the paper.
+    code_bytes:
+        Program image size; reloaded from the file system under the
+        task-recreation strategy (the Fig. 2 offset + slope).
+    jitter_fraction:
+        Per-frame workload variation: each frame costs
+        ``cycles_per_frame * (1 + U(-j, +j))`` cycles, drawn from the
+        task's own deterministic stream.  Models data-dependent DSP
+        cost; 0 (default) reproduces the constant-rate characterization
+        of Table 2.  ``demand_hz`` stays the *nominal* (mean) demand —
+        that is what the DVFS governor and the policy plan with.
+    """
+
+    def __init__(self, name: str, cycles_per_frame: float,
+                 frame_period_s: float,
+                 context_bytes: int = MIN_CONTEXT_BYTES,
+                 code_bytes: int = MIN_CONTEXT_BYTES,
+                 jitter_fraction: float = 0.0,
+                 jitter_seed: int = 0):
+        if cycles_per_frame <= 0:
+            raise ValueError(f"cycles_per_frame must be positive for {name}")
+        if frame_period_s <= 0:
+            raise ValueError(f"frame_period_s must be positive for {name}")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError(f"jitter_fraction must lie in [0, 1) "
+                             f"for {name}")
+        self.name = name
+        self.cycles_per_frame = float(cycles_per_frame)
+        self.frame_period_s = float(frame_period_s)
+        self.context_bytes = max(int(context_bytes), MIN_CONTEXT_BYTES)
+        self.code_bytes = max(int(code_bytes), 0)
+        self.jitter_fraction = float(jitter_fraction)
+        self._jitter_rng = None
+        if self.jitter_fraction > 0.0:
+            import random
+            self._jitter_rng = random.Random(
+                hash((name, int(jitter_seed))) & 0x7FFFFFFF)
+
+        # Dataflow wiring (set by the application layer).
+        self.inputs: List[Any] = []    # MsgQueue
+        self.outputs: List[Any] = []   # MsgQueue
+
+        # Runtime state (owned by the scheduler).
+        self.state = TaskState.NEW
+        self.phase = TaskPhase.ACQUIRE
+        self.core_index: Optional[int] = None
+        self.remaining_cycles = 0.0
+        self.current_frames: List[Any] = []
+        self.pending_outputs: List[Any] = []
+
+        # Migration handshake (owned by the migration engine).
+        self.migration_target: Optional[int] = None
+
+        # Accounting.
+        self.frames_done = 0
+        self.total_cycles = 0.0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # load characterization
+    # ------------------------------------------------------------------
+    @property
+    def demand_hz(self) -> float:
+        """Cycle rate this task needs to sustain the frame rate."""
+        return self.cycles_per_frame / self.frame_period_s
+
+    def fse_load(self, f_max_hz: float) -> float:
+        """Full-speed-equivalent load: fraction of a core at ``f_max``."""
+        if f_max_hz <= 0:
+            raise ValueError("f_max_hz must be positive")
+        return self.demand_hz / f_max_hz
+
+    def load_at(self, f_hz: float) -> float:
+        """Utilization this task imposes on a core running at ``f_hz``
+        (Table 2 reports loads in this form)."""
+        if f_hz <= 0:
+            raise ValueError("f_hz must be positive")
+        return self.demand_hz / f_hz
+
+    def draw_frame_cycles(self) -> float:
+        """Cycle cost of the next frame (jittered when configured)."""
+        if self._jitter_rng is None:
+            return self.cycles_per_frame
+        factor = 1.0 + self._jitter_rng.uniform(-self.jitter_fraction,
+                                                self.jitter_fraction)
+        return self.cycles_per_frame * factor
+
+    # ------------------------------------------------------------------
+    # state predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_blocked(self) -> bool:
+        return self.state in (TaskState.BLOCKED_INPUT, TaskState.BLOCKED_OUTPUT)
+
+    @property
+    def at_checkpoint(self) -> bool:
+        """True when the task sits exactly between iterations.
+
+        A task blocked while *acquiring* has not consumed any input yet,
+        so suspending it there is indistinguishable from suspending at
+        the user checkpoint — the migration engine exploits this to
+        freeze blocked tasks immediately instead of waiting for data.
+        """
+        return (self.phase == TaskPhase.ACQUIRE
+                and self.state in (TaskState.BLOCKED_INPUT, TaskState.NEW))
+
+    @property
+    def migration_pending(self) -> bool:
+        return self.migration_target is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Task {self.name} core={self.core_index} "
+                f"{self.state.value}/{self.phase.value} "
+                f"frames={self.frames_done}>")

@@ -1,0 +1,41 @@
+"""MPSoC platform model.
+
+Models the hardware half of the paper's emulation platform (Sec. 4):
+32-bit RISC tiles with private instruction/data caches and private
+memories, one non-cacheable shared memory on a contended bus, per-core
+DVFS domains, and the 90 nm power figures of Table 1.
+"""
+
+from repro.platform.bus import BusTransfer, SharedBus
+from repro.platform.chip import Chip, Tile
+from repro.platform.components import BlockKind, HardwareBlock
+from repro.platform.floorplan import Floorplan, Rect
+from repro.platform.frequency import OperatingPoint, OperatingPointTable
+from repro.platform.power import PowerModel, PowerModelParams
+from repro.platform.presets import (
+    CONF1_STREAMING,
+    CONF2_ARM11,
+    PlatformConfig,
+    build_chip,
+    build_floorplan,
+)
+
+__all__ = [
+    "BlockKind",
+    "BusTransfer",
+    "CONF1_STREAMING",
+    "CONF2_ARM11",
+    "Chip",
+    "Floorplan",
+    "HardwareBlock",
+    "OperatingPoint",
+    "OperatingPointTable",
+    "PlatformConfig",
+    "PowerModel",
+    "PowerModelParams",
+    "Rect",
+    "SharedBus",
+    "Tile",
+    "build_chip",
+    "build_floorplan",
+]

@@ -1,0 +1,160 @@
+"""Shared on-chip bus with processor-sharing contention.
+
+Migration context transfers go through the single shared memory
+(Fig. 3a), so concurrent transfers slow each other down and the steady
+frame traffic of the streaming pipeline occupies a configurable
+background fraction of the raw bandwidth.  This is the mechanism behind
+the growing slope of the task-recreation curve in Fig. 2: bigger
+transfers occupy the bus longer and feel more contention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.kernel import Event, Simulator
+
+
+class BusTransfer:
+    """An in-flight DMA-style transfer over the shared bus."""
+
+    __slots__ = ("nbytes", "remaining", "callback", "started_at",
+                 "finished_at", "label")
+
+    def __init__(self, nbytes: float, callback: Callable[["BusTransfer"], None],
+                 started_at: float, label: str = ""):
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.callback = callback
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.label = label
+
+    #: Remaining-byte slack below which a transfer counts as complete.
+    #: ``now + delay`` rounding in the float clock can leave O(1e-7)
+    #: bytes; transfers are >= 64 KB so a millibyte threshold is safe.
+    DONE_EPS_BYTES = 1e-3
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= self.DONE_EPS_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BusTransfer {self.label!r} {self.nbytes:.0f}B "
+                f"remaining={self.remaining:.0f}B>")
+
+
+class SharedBus:
+    """Processor-sharing model of the shared-memory bus.
+
+    ``n`` concurrent transfers each progress at
+    ``bandwidth * (1 - background_load) / n`` bytes per second.  The
+    model re-plans the earliest completion whenever the active set
+    changes, so per-transfer latencies are exact under the fluid
+    assumption.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    bandwidth_bps:
+        Raw bus bandwidth in bytes/second.
+    background_load:
+        Fraction of bandwidth consumed by steady streaming (queue)
+        traffic; migrations only get the remainder.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 200e6,
+                 background_load: float = 0.15):
+        if bandwidth_bps <= 0:
+            raise ValueError("bus bandwidth must be positive")
+        if not 0.0 <= background_load < 1.0:
+            raise ValueError("background_load must lie in [0, 1)")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.background_load = float(background_load)
+        self._active: List[BusTransfer] = []
+        self._completion_event: Optional[Event] = None
+        self._last_update = sim.now
+        self.total_bytes_transferred = 0.0
+        self.total_transfers = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Bandwidth available to migration traffic (background removed)."""
+        return self.bandwidth_bps * (1.0 - self.background_load)
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._active)
+
+    def transfer_time_alone(self, nbytes: float) -> float:
+        """Latency of ``nbytes`` if it were the only transfer in flight."""
+        return float(nbytes) / self.effective_bandwidth_bps
+
+    def start_transfer(self, nbytes: float,
+                       callback: Callable[[BusTransfer], None],
+                       label: str = "") -> BusTransfer:
+        """Begin a transfer; ``callback(transfer)`` fires on completion."""
+        if nbytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {nbytes}")
+        self._advance()
+        transfer = BusTransfer(nbytes, callback, self.sim.now, label)
+        self._active.append(transfer)
+        self.total_transfers += 1
+        self._replan()
+        return transfer
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rate_per_transfer(self) -> float:
+        if not self._active:
+            return 0.0
+        return self.effective_bandwidth_bps / len(self._active)
+
+    def _advance(self) -> None:
+        """Progress all active transfers up to the current instant."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0 and self._active:
+            progressed = self._rate_per_transfer() * dt
+            for t in self._active:
+                t.remaining = max(0.0, t.remaining - progressed)
+        self._last_update = now
+
+    def _replan(self) -> None:
+        """Reschedule the completion event for the earliest finisher."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._active:
+            return
+        rate = self._rate_per_transfer()
+        min_remaining = min(t.remaining for t in self._active)
+        delay = min_remaining / rate
+        self._completion_event = self.sim.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._advance()
+        finished = [t for t in self._active if t.done]
+        if not finished and self._active:
+            # Guard against float dust starving completion: the event
+            # fired for the minimum-remaining transfer, so finish it.
+            earliest = min(self._active, key=lambda t: t.remaining)
+            earliest.remaining = 0.0
+            finished = [earliest]
+        self._active = [t for t in self._active if not t.done]
+        self._replan()
+        for t in finished:
+            t.finished_at = self.sim.now
+            self.total_bytes_transferred += t.nbytes
+            t.callback(t)

@@ -1,0 +1,57 @@
+"""Hardware block descriptions.
+
+A :class:`HardwareBlock` ties together a name, a kind (core, cache,
+memory), a power model and its floorplan footprint.  Blocks are the unit
+of both power accounting and thermal modelling.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.platform.floorplan import Rect
+from repro.platform.power import PowerModel
+
+
+class BlockKind(enum.Enum):
+    """The component classes of the emulated MPSoC (Fig. 3a / Table 1)."""
+
+    CORE = "core"
+    ICACHE = "icache"
+    DCACHE = "dcache"
+    PRIVATE_MEM = "private_mem"
+    SHARED_MEM = "shared_mem"
+
+
+class HardwareBlock:
+    """One floorplanned component with a power model.
+
+    Attributes
+    ----------
+    name:
+        Unique block name (matches the floorplan entry).
+    kind:
+        Component class; drives how activity is derived from core state.
+    power_model:
+        Evaluates power from (f, V, activity, T, gated).
+    rect:
+        Floorplan footprint.
+    tile_index:
+        Index of the owning tile, or ``None`` for shared blocks.
+    """
+
+    def __init__(self, name: str, kind: BlockKind, power_model: PowerModel,
+                 rect: Rect, tile_index: Optional[int] = None):
+        self.name = name
+        self.kind = kind
+        self.power_model = power_model
+        self.rect = rect
+        self.tile_index = tile_index
+
+    @property
+    def area_mm2(self) -> float:
+        return self.rect.area_mm2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.name} ({self.kind.value}) {self.area_mm2:.2f}mm2>"

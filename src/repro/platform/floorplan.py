@@ -1,0 +1,141 @@
+"""Floorplan geometry (Figure 5 of the paper).
+
+The thermal model needs block areas (vertical heat path and capacitance)
+and shared-edge lengths between abutting blocks (lateral heat spreading).
+A :class:`Floorplan` is an ordered collection of named, axis-aligned,
+non-overlapping rectangles in millimetres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle: origin (x, y) and size (w, h), in mm."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"rectangle sides must be positive: {self}")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.w * self.h
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the interiors intersect (shared edges do not count)."""
+        eps = 1e-9
+        return not (self.x2 <= other.x + eps or other.x2 <= self.x + eps or
+                    self.y2 <= other.y + eps or other.y2 <= self.y + eps)
+
+    def shared_edge_mm(self, other: "Rect") -> float:
+        """Length of the boundary shared with ``other`` (0 if not abutting).
+
+        Two rectangles share an edge when one's right side equals the
+        other's left side (or top/bottom) and their projections on the
+        orthogonal axis overlap.
+        """
+        eps = 1e-9
+        # Vertical abutment (left/right sides touching).
+        if abs(self.x2 - other.x) < eps or abs(other.x2 - self.x) < eps:
+            lo = max(self.y, other.y)
+            hi = min(self.y2, other.y2)
+            if hi - lo > eps:
+                return hi - lo
+        # Horizontal abutment (top/bottom sides touching).
+        if abs(self.y2 - other.y) < eps or abs(other.y2 - self.y) < eps:
+            lo = max(self.x, other.x)
+            hi = min(self.x2, other.x2)
+            if hi - lo > eps:
+                return hi - lo
+        return 0.0
+
+    def center_distance_mm(self, other: "Rect") -> float:
+        (x1, y1), (x2, y2) = self.center, other.center
+        return ((x1 - x2) ** 2 + (y1 - y2) ** 2) ** 0.5
+
+
+class Floorplan:
+    """Named, non-overlapping block rectangles on a die."""
+
+    def __init__(self) -> None:
+        self._rects: Dict[str, Rect] = {}
+        self._order: List[str] = []
+
+    def add(self, name: str, rect: Rect) -> None:
+        """Add a block; rejects duplicate names and overlapping geometry."""
+        if name in self._rects:
+            raise ValueError(f"duplicate floorplan block name: {name!r}")
+        for other_name, other in self._rects.items():
+            if rect.overlaps(other):
+                raise ValueError(
+                    f"block {name!r} overlaps {other_name!r}: {rect} / {other}")
+        self._rects[name] = rect
+        self._order.append(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rects
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def rect(self, name: str) -> Rect:
+        return self._rects[name]
+
+    def area_mm2(self, name: str) -> float:
+        return self._rects[name].area_mm2
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(r.area_mm2 for r in self._rects.values())
+
+    @property
+    def bounding_box(self) -> Rect:
+        if not self._rects:
+            raise ValueError("empty floorplan has no bounding box")
+        x1 = min(r.x for r in self._rects.values())
+        y1 = min(r.y for r in self._rects.values())
+        x2 = max(r.x2 for r in self._rects.values())
+        y2 = max(r.y2 for r in self._rects.values())
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    def adjacencies(self) -> List[Tuple[str, str, float]]:
+        """All abutting block pairs with their shared edge lengths (mm).
+
+        Pairs are returned once each, in floorplan insertion order, which
+        keeps the thermal network construction deterministic.
+        """
+        out: List[Tuple[str, str, float]] = []
+        names = self._order
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                edge = self._rects[a].shared_edge_mm(self._rects[b])
+                if edge > 0.0:
+                    out.append((a, b, edge))
+        return out

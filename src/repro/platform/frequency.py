@@ -1,0 +1,125 @@
+"""Operating points and frequency selection.
+
+The platform of the paper runs MicroBlaze-class cores whose clocks are
+derived by integer division of the 533 MHz master clock: Table 2 shows
+cores at 533 MHz and 266 MHz.  We therefore model the available operating
+points as ``f_max / 2**k`` with a voltage that scales linearly with
+frequency, which is the standard first-order DVFS model (power then
+scales as ``f * V^2``, matching the paper's use of ``f^2`` as a power
+proxy in the candidate-filter conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPoint:
+    """One DVFS setting: a frequency (Hz) and its supply voltage (V)."""
+
+    frequency_hz: float
+    voltage: float
+
+    @property
+    def mhz(self) -> float:
+        return self.frequency_hz / 1e6
+
+    def power_proxy(self) -> float:
+        """The ``f^2`` proxy used by the policy's third condition.
+
+        With linear V(f), ``f * V^2`` is a monotone function of ``f^2``;
+        the paper states the condition directly on ``f^2``, so we expose
+        exactly that.
+        """
+        return self.frequency_hz * self.frequency_hz
+
+
+class OperatingPointTable:
+    """An ordered set of operating points for one DVFS domain."""
+
+    def __init__(self, points: Iterable[OperatingPoint]):
+        pts = sorted(points, key=lambda p: p.frequency_hz)
+        if not pts:
+            raise ValueError("an operating point table cannot be empty")
+        freqs = [p.frequency_hz for p in pts]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError(f"duplicate frequencies in OPP table: {freqs}")
+        self._points: List[OperatingPoint] = pts
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def clock_divided(cls, f_max_hz: float, levels: int = 4,
+                      v_min: float = 0.7,
+                      v_max: float = 1.2) -> "OperatingPointTable":
+        """Build ``f_max / 2**k`` points for ``k in 0..levels-1``.
+
+        Voltage interpolates linearly between ``v_min`` (at frequency 0,
+        extrapolated) and ``v_max`` (at ``f_max``):
+        ``V(f) = v_min + (v_max - v_min) * f / f_max``.
+        """
+        if levels < 1:
+            raise ValueError("need at least one operating point")
+        points = []
+        for k in range(levels):
+            f = f_max_hz / (2 ** k)
+            v = v_min + (v_max - v_min) * (f / f_max_hz)
+            points.append(OperatingPoint(f, v))
+        return cls(points)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Sequence[OperatingPoint]:
+        return tuple(self._points)
+
+    @property
+    def min_point(self) -> OperatingPoint:
+        return self._points[0]
+
+    @property
+    def max_point(self) -> OperatingPoint:
+        return self._points[-1]
+
+    @property
+    def f_max_hz(self) -> float:
+        return self._points[-1].frequency_hz
+
+    def point_for_demand(self, demand_hz: float) -> OperatingPoint:
+        """Smallest operating point whose frequency covers ``demand_hz``.
+
+        This is the utilization-driven DVFS rule of the paper's governor
+        ([5] in the text): run as slow as the mapped full-speed-equivalent
+        load allows.  Demand above ``f_max`` saturates at the maximum
+        point (the core is then overloaded and the streaming pipeline
+        falls behind — the simulator lets that happen and the QoS metrics
+        show it).
+        """
+        if demand_hz < 0:
+            raise ValueError(f"demand must be non-negative, got {demand_hz}")
+        for point in self._points:
+            if point.frequency_hz >= demand_hz - 1e-6:
+                return point
+        return self._points[-1]
+
+    def neighbors(self, point: OperatingPoint) -> Tuple[OperatingPoint,
+                                                        OperatingPoint]:
+        """The next-lower and next-higher points (clamped at the ends)."""
+        idx = self._points.index(point)
+        lower = self._points[max(0, idx - 1)]
+        higher = self._points[min(len(self._points) - 1, idx + 1)]
+        return lower, higher
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mhz = ", ".join(f"{p.mhz:.0f}" for p in self._points)
+        return f"<OPPTable [{mhz}] MHz>"

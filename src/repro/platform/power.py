@@ -1,0 +1,103 @@
+"""Component power models (Table 1 of the paper).
+
+Each hardware block carries a :class:`PowerModel` with
+
+* a **dynamic** part ``P_dyn = P_ref * (f/f_ref) * (V/V_ref)^2 * a`` where
+  ``a`` blends an idle clock-tree floor with the activity factor, and
+* a **leakage** part ``P_leak = L_ref * exp(alpha * (T - T_ref))`` —
+  temperature-dependent, which is exactly why the paper cares about
+  thermal gradients in the first place.
+
+The Table 1 numbers (90 nm industrial models) are encoded in
+:mod:`repro.platform.presets`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Parameters of one block's power model.
+
+    Attributes
+    ----------
+    p_dyn_ref:
+        Dynamic power (W) at ``f_ref``, ``v_ref``, activity 1.
+    f_ref_hz:
+        Reference frequency for ``p_dyn_ref`` (Table 1 quotes 500 MHz).
+    v_ref:
+        Reference (maximum) supply voltage.
+    idle_fraction:
+        Fraction of full dynamic power burnt when the block is clocked
+        but idle (clock tree + static logic toggling).
+    leak_ref:
+        Leakage power (W) at ``t_ref_c``.
+    t_ref_c:
+        Reference temperature for ``leak_ref`` (Celsius).
+    leak_alpha:
+        Exponential leakage slope (1/K).  ~2 %/K is typical for 90 nm.
+    gated_leak_fraction:
+        Residual leakage fraction when the block is power-gated
+        (Stop&Go's off state).
+    """
+
+    p_dyn_ref: float
+    f_ref_hz: float = 500e6
+    v_ref: float = 1.2
+    idle_fraction: float = 0.10
+    leak_ref: float = 0.0
+    t_ref_c: float = 60.0
+    leak_alpha: float = 0.02
+    gated_leak_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.p_dyn_ref < 0:
+            raise ValueError("p_dyn_ref must be non-negative")
+        if self.f_ref_hz <= 0 or self.v_ref <= 0:
+            raise ValueError("reference frequency and voltage must be positive")
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise ValueError("idle_fraction must lie in [0, 1]")
+
+
+class PowerModel:
+    """Evaluates a block's power for a given operating state."""
+
+    def __init__(self, params: PowerModelParams):
+        self.params = params
+
+    def dynamic_power(self, f_hz: float, voltage: float,
+                      activity: float) -> float:
+        """Dynamic power at frequency/voltage with activity in [0, 1]."""
+        p = self.params
+        if f_hz < 0:
+            raise ValueError(f"frequency must be non-negative, got {f_hz}")
+        activity = min(max(activity, 0.0), 1.0)
+        blend = p.idle_fraction + (1.0 - p.idle_fraction) * activity
+        return (p.p_dyn_ref * (f_hz / p.f_ref_hz)
+                * (voltage / p.v_ref) ** 2 * blend)
+
+    def leakage_power(self, temp_c: float) -> float:
+        """Temperature-dependent leakage (exponential model)."""
+        p = self.params
+        return p.leak_ref * math.exp(p.leak_alpha * (temp_c - p.t_ref_c))
+
+    def power(self, f_hz: float, voltage: float, activity: float,
+              temp_c: float, gated: bool = False) -> float:
+        """Total block power.
+
+        When ``gated`` the clock and supply are cut: dynamic power is
+        zero and only the residual (virtually powered-off) leakage
+        remains.
+        """
+        if gated:
+            return self.leakage_power(temp_c) * self.params.gated_leak_fraction
+        return self.dynamic_power(f_hz, voltage, activity) + \
+            self.leakage_power(temp_c)
+
+    def max_power(self, f_hz: float, voltage: float,
+                  temp_c: float = 85.0) -> float:
+        """Worst-case power (full activity, hot die) — Table 1 style."""
+        return self.power(f_hz, voltage, activity=1.0, temp_c=temp_c)

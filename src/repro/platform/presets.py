@@ -1,0 +1,155 @@
+"""Pre-built platform configurations.
+
+Encodes Table 1 of the paper (component power at 500 MHz, 0.09 um CMOS)
+and the Fig. 5-style floorplan: processor tiles side by side (so the
+middle core sees hot neighbours on both flanks — the paper observes that
+cores 2 and 3 run at the same frequency yet settle at different
+temperatures because of their floorplan position), private memories above
+the caches, and the shared memory strip along the top edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.platform.bus import SharedBus
+from repro.platform.chip import Chip, Tile
+from repro.platform.components import BlockKind, HardwareBlock
+from repro.platform.floorplan import Floorplan, Rect
+from repro.platform.frequency import OperatingPointTable
+from repro.platform.power import PowerModel, PowerModelParams
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything needed to instantiate an N-core streaming MPSoC.
+
+    The two configurations of Table 1:
+
+    * ``CONF1_STREAMING`` — RISC32-streaming cores, 0.5 W max @ 500 MHz.
+    * ``CONF2_ARM11`` — ARM11-class cores, 0.27 W max @ 500 MHz.
+    """
+
+    name: str
+    core_power: PowerModelParams
+    icache_power: PowerModelParams
+    dcache_power: PowerModelParams
+    private_mem_power: PowerModelParams
+    shared_mem_power: PowerModelParams
+    f_max_hz: float = 533e6
+    opp_levels: int = 4
+    v_min: float = 0.7
+    v_max: float = 1.2
+    bus_bandwidth_bps: float = 200e6
+    bus_background_load: float = 0.15
+    ambient_c: float = 35.0
+
+
+def _mem_params(p_dyn_ref: float, leak_ref: float) -> PowerModelParams:
+    return PowerModelParams(p_dyn_ref=p_dyn_ref, leak_ref=leak_ref,
+                            idle_fraction=0.15)
+
+
+#: Core idle power fraction: the uClinux port for MMU-less cores has no
+#: low-power wait instruction — the idle loop busy-waits, so an idle
+#: core burns a large fraction of its active dynamic power.  This also
+#: keeps idle-but-clocked cores visibly warmer than a power-gated one,
+#: which is what lets Stop&Go's relative lower threshold fire.
+_CORE_IDLE_FRACTION = 0.80
+
+#: Table 1, row "RISC32-streaming (Conf1): 0.5 W (Max)" — split into a
+#: dynamic part at 500 MHz/1.2 V and a leakage part at the 60 C
+#: reference so that worst-case (hot, full activity) power is ~0.5 W.
+CONF1_STREAMING = PlatformConfig(
+    name="Conf1-RISC32-streaming",
+    core_power=PowerModelParams(p_dyn_ref=0.425, leak_ref=0.075,
+                                idle_fraction=_CORE_IDLE_FRACTION),
+    icache_power=_mem_params(0.010, 0.001),   # Table 1: ICache 8kB/DM 11 mW
+    dcache_power=_mem_params(0.040, 0.003),   # Table 1: DCache 8kB/2way 43 mW
+    private_mem_power=_mem_params(0.013, 0.002),  # Table 1: Memory 32kB 15 mW
+    shared_mem_power=_mem_params(0.013, 0.002),
+)
+
+#: Table 1, row "RISC32-ARM11 (Conf2): 0.27 W (Max)".
+CONF2_ARM11 = PlatformConfig(
+    name="Conf2-RISC32-ARM11",
+    core_power=PowerModelParams(p_dyn_ref=0.230, leak_ref=0.040,
+                                idle_fraction=_CORE_IDLE_FRACTION),
+    icache_power=_mem_params(0.010, 0.001),
+    dcache_power=_mem_params(0.040, 0.003),
+    private_mem_power=_mem_params(0.013, 0.002),
+    shared_mem_power=_mem_params(0.013, 0.002),
+)
+
+# Tile geometry (mm).  Blocks within a tile abut, and tiles abut each
+# other, so lateral conduction paths exist across the whole die.
+_TILE_W = 2.0
+_CORE_H = 1.8
+_CACHE_H = 0.8
+_PMEM_H = 1.0
+_SHARED_H = 1.2
+
+
+def build_floorplan(n_tiles: int = 3) -> Floorplan:
+    """The Fig. 5-style floorplan: a row of tiles + shared memory strip."""
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    fp = Floorplan()
+    for i in range(n_tiles):
+        x0 = _TILE_W * i
+        fp.add(f"core{i}", Rect(x0, 0.0, _TILE_W, _CORE_H))
+        fp.add(f"icache{i}", Rect(x0, _CORE_H, _TILE_W / 2, _CACHE_H))
+        fp.add(f"dcache{i}", Rect(x0 + _TILE_W / 2, _CORE_H,
+                                  _TILE_W / 2, _CACHE_H))
+        fp.add(f"pmem{i}", Rect(x0, _CORE_H + _CACHE_H, _TILE_W, _PMEM_H))
+    fp.add("shared_mem", Rect(0.0, _CORE_H + _CACHE_H + _PMEM_H,
+                              _TILE_W * n_tiles, _SHARED_H))
+    return fp
+
+
+def build_chip(sim_clock: Callable[[], float], n_tiles: int = 3,
+               config: PlatformConfig = CONF1_STREAMING,
+               sim=None) -> Chip:
+    """Assemble a chip: tiles, shared memory, bus and floorplan.
+
+    Parameters
+    ----------
+    sim_clock:
+        Callable returning simulated time (``lambda: sim.now``).
+    n_tiles:
+        Number of processor tiles (the paper's experiments use 3).
+    config:
+        Power configuration (Conf1 or Conf2 of Table 1).
+    sim:
+        The simulator, needed by the shared bus for transfer scheduling.
+    """
+    if sim is None:
+        raise ValueError("build_chip requires the simulator (sim=...)")
+    floorplan = build_floorplan(n_tiles)
+    opp_table = OperatingPointTable.clock_divided(
+        config.f_max_hz, config.opp_levels, config.v_min, config.v_max)
+
+    tiles: List[Tile] = []
+    for i in range(n_tiles):
+        core = HardwareBlock(f"core{i}", BlockKind.CORE,
+                             PowerModel(config.core_power),
+                             floorplan.rect(f"core{i}"), tile_index=i)
+        icache = HardwareBlock(f"icache{i}", BlockKind.ICACHE,
+                               PowerModel(config.icache_power),
+                               floorplan.rect(f"icache{i}"), tile_index=i)
+        dcache = HardwareBlock(f"dcache{i}", BlockKind.DCACHE,
+                               PowerModel(config.dcache_power),
+                               floorplan.rect(f"dcache{i}"), tile_index=i)
+        pmem = HardwareBlock(f"pmem{i}", BlockKind.PRIVATE_MEM,
+                             PowerModel(config.private_mem_power),
+                             floorplan.rect(f"pmem{i}"), tile_index=i)
+        tiles.append(Tile(i, core, icache, dcache, pmem, opp_table))
+
+    shared = HardwareBlock("shared_mem", BlockKind.SHARED_MEM,
+                           PowerModel(config.shared_mem_power),
+                           floorplan.rect("shared_mem"))
+    bus = SharedBus(sim, config.bus_bandwidth_bps,
+                    config.bus_background_load)
+    return Chip(sim_clock, tiles, [shared], floorplan, bus,
+                ambient_c=config.ambient_c)

@@ -1,0 +1,28 @@
+"""Thermal management policies.
+
+The paper's contribution — :class:`MigraThermalBalancer`, a migration-
+based thermal balancing policy — plus the baselines it is evaluated
+against: :class:`EnergyBalancing` (static mapping + DVFS only) and
+:class:`StopAndGo` (core gating, in the paper's threshold-coupled
+variant and the original panic/timeout variant), a pure
+:class:`LoadBalancing` extension, and an always-on
+:class:`PanicGuard` against thermal runaway.
+"""
+
+from repro.policies.base import PolicyDecision, ThermalPolicy
+from repro.policies.energy_balance import EnergyBalancing
+from repro.policies.guard import PanicGuard
+from repro.policies.load_balance import LoadBalancing
+from repro.policies.migra import ExchangeOption, MigraThermalBalancer
+from repro.policies.stop_go import StopAndGo
+
+__all__ = [
+    "EnergyBalancing",
+    "ExchangeOption",
+    "LoadBalancing",
+    "MigraThermalBalancer",
+    "PanicGuard",
+    "PolicyDecision",
+    "StopAndGo",
+    "ThermalPolicy",
+]

@@ -1,0 +1,43 @@
+"""The energy-balancing baseline.
+
+"This policy maps the tasks of the SDR application such as their energy
+consumption is balanced among the cores.  Energy is computed from the
+frequency and voltage imposed by the tasks running, which are
+dynamically adjusted using a DVFS algorithm." (Sec. 5.2)
+
+All the work happens statically (the Table 2 mapping) and in the DVFS
+governor; the runtime policy takes no thermal action.  It exists as a
+policy object so the experiment matrix treats all three contenders
+uniformly — and so the figures show what *not* reacting to temperature
+looks like.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import ThermalPolicy
+
+
+class EnergyBalancing(ThermalPolicy):
+    """Static energy-balanced mapping + DVFS; no runtime actuation."""
+
+    name = "energy-balance"
+
+    def step(self, now: float, core_temps: np.ndarray) -> None:
+        # Deliberately empty: energy balancing never reacts to
+        # temperature.  The thermal gradient it leaves standing is the
+        # paper's Figure 1 motivation.
+        return None
+
+    @staticmethod
+    def describe_mapping(mpos) -> str:
+        """Human-readable dump of the static mapping (Table 2 format)."""
+        lines = []
+        for core in range(mpos.chip.n_tiles):
+            f = mpos.chip.tile(core).frequency_hz
+            names = ", ".join(
+                f"{t.name} ({100 * t.load_at(f):.1f}%)"
+                for t in mpos.tasks_on_core(core))
+            lines.append(f"Core {core + 1} ({f / 1e6:.0f} MHz): {names}")
+        return "\n".join(lines)

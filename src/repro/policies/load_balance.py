@@ -1,0 +1,61 @@
+"""Pure load balancing (extension baseline).
+
+Equalizes full-speed-equivalent demand across cores through migration,
+ignoring temperature entirely.  The paper argues (Fig. 1 and Sec. 1)
+that load/energy balance does *not* imply thermal balance; this policy
+makes that claim testable in the ablation benches: it converges to a
+fixed balanced mapping and then stops migrating, leaving the
+floorplan-induced gradient standing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpos.migration import MigrationPlan
+from repro.policies.base import ThermalPolicy
+
+
+class LoadBalancing(ThermalPolicy):
+    """Migrates the largest movable task from the most- to the
+    least-loaded core whenever the demand gap exceeds ``tolerance_hz``.
+
+    ``threshold_c`` is accepted for interface uniformity but unused.
+    """
+
+    name = "load-balance"
+
+    def __init__(self, threshold_c: float = 3.0,
+                 tolerance_hz: float = 40e6,
+                 eval_period_s: float = 0.25):
+        super().__init__(threshold_c)
+        if tolerance_hz <= 0 or eval_period_s < 0:
+            raise ValueError("tolerance must be positive and the "
+                             "evaluation period non-negative")
+        self.tolerance_hz = float(tolerance_hz)
+        self.eval_period_s = float(eval_period_s)
+        self._last_eval = -float("inf")
+
+    def step(self, now: float, core_temps: np.ndarray) -> None:
+        assert self.mpos is not None
+        if now - self._last_eval < self.eval_period_s:
+            return
+        self._last_eval = now
+        if self.mpos.engine.busy:
+            return
+        demands = [self.mpos.core_demand_hz(i)
+                   for i in range(self.mpos.chip.n_tiles)]
+        hi = int(np.argmax(demands))
+        lo = int(np.argmin(demands))
+        gap = demands[hi] - demands[lo]
+        if gap <= self.tolerance_hz:
+            return
+        # Move the biggest task that still shrinks the gap.
+        movable = [t for t in self.mpos.tasks_on_core(hi)
+                   if t.demand_hz < gap]
+        if not movable:
+            return
+        task = max(movable, key=lambda t: t.demand_hz)
+        self.mpos.engine.request_plan(MigrationPlan(
+            moves=[(task, lo)], reason="load-balance", triggered_by=hi))
+        self.record(now, "migration", hi, detail=f"{task.name} {hi}->{lo}")

@@ -1,0 +1,92 @@
+"""The parallel band-pass equalizer and weighted-sum consumer.
+
+The BPF1..BPFn tasks of the benchmark each band-pass a copy of the
+demodulated audio; the consumer (the paper's capital-sigma block) sums
+the bands with per-band gains to produce the equalized output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sdr.filters import FIRFilter, design_bandpass
+
+
+@dataclass(frozen=True)
+class EqualizerBand:
+    """One band: pass range and gain."""
+
+    f_lo_hz: float
+    f_hi_hz: float
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.f_lo_hz >= self.f_hi_hz:
+            raise ValueError("band requires f_lo < f_hi")
+
+    @property
+    def centre_hz(self) -> float:
+        return 0.5 * (self.f_lo_hz + self.f_hi_hz)
+
+
+class Equalizer:
+    """A bank of parallel BPFs plus the weighted-sum consumer.
+
+    Structured exactly like the benchmark graph: :meth:`process_band`
+    runs one BPF task's work; :meth:`combine` is the consumer task;
+    :meth:`process` chains them for convenience.
+    """
+
+    def __init__(self, bands: Sequence[EqualizerBand], fs_hz: float,
+                 n_taps: int = 63):
+        if not bands:
+            raise ValueError("equalizer needs at least one band")
+        self.bands: List[EqualizerBand] = list(bands)
+        self.fs_hz = float(fs_hz)
+        self.filters = [
+            FIRFilter(design_bandpass(b.f_lo_hz, b.f_hi_hz, fs_hz, n_taps))
+            for b in self.bands]
+
+    @property
+    def n_bands(self) -> int:
+        return len(self.bands)
+
+    def reset(self) -> None:
+        for f in self.filters:
+            f.reset()
+
+    def process_band(self, index: int, frame: np.ndarray) -> np.ndarray:
+        """Run one BPF task on a frame (keeps per-band state)."""
+        return self.filters[index].process(frame)
+
+    def combine(self, band_frames: Sequence[np.ndarray]) -> np.ndarray:
+        """The consumer: weighted sum of the per-band outputs."""
+        if len(band_frames) != self.n_bands:
+            raise ValueError(
+                f"expected {self.n_bands} band frames, got {len(band_frames)}")
+        out = np.zeros_like(np.asarray(band_frames[0], dtype=float))
+        for band, frame in zip(self.bands, band_frames):
+            out = out + band.gain * np.asarray(frame, dtype=float)
+        return out
+
+    def process(self, frame: np.ndarray) -> np.ndarray:
+        """All bands + combination in one call."""
+        return self.combine([self.process_band(i, frame)
+                             for i in range(self.n_bands)])
+
+
+def default_three_band(fs_hz: float,
+                       gains: Sequence[float] = (1.0, 1.0, 1.0)) -> Equalizer:
+    """The benchmark's 3-band split: bass / mid / treble."""
+    if len(gains) != 3:
+        raise ValueError("need exactly three gains")
+    nyq = fs_hz / 2.0
+    bands = [
+        EqualizerBand(40.0, 0.05 * nyq, gains[0]),
+        EqualizerBand(0.05 * nyq, 0.25 * nyq, gains[1]),
+        EqualizerBand(0.25 * nyq, 0.8 * nyq, gains[2]),
+    ]
+    return Equalizer(bands, fs_hz)

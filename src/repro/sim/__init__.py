@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel.
+
+This package provides the event-driven substrate every other subsystem is
+built on: a :class:`~repro.sim.kernel.Simulator` with a time-ordered event
+queue, periodic processes, trace recording and seeded randomness.
+
+The kernel is deliberately small and deterministic: events scheduled for
+the same timestamp fire in FIFO order of scheduling, so a simulation with
+a fixed seed is exactly reproducible run to run.
+"""
+
+from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.process import PeriodicProcess, Timer
+from repro.sim.rng import SimRandom
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "Event",
+    "PeriodicProcess",
+    "SimRandom",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecorder",
+]

@@ -1,0 +1,198 @@
+"""Event queue and simulation clock.
+
+The kernel implements a classic calendar-queue discrete-event simulator:
+callbacks are scheduled at absolute simulated times (seconds, floats) and
+executed in non-decreasing time order.  Ties are broken by scheduling
+order, which keeps runs deterministic without relying on callback identity.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(2.0, lambda: fired.append("late"))
+>>> _ = sim.schedule(1.0, lambda: fired.append("early"))
+>>> sim.run()
+>>> fired
+['early', 'late']
+>>> sim.now
+2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, reentrant run...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code holds on to them only to
+    :meth:`cancel` them.  A cancelled event stays in the heap but is
+    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """Discrete-event simulator with a float clock in seconds.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = float(start_time)
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all
+        events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self.now}")
+        event = Event(float(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel an event if it is not ``None``.  Idempotent."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        """Total callbacks executed since construction."""
+        return self._events_executed
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False when none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self._events_executed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue is exhausted (or ``max_events`` executed)."""
+        self._guard_reentrancy()
+        try:
+            executed = 0
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= ``time``; set clock to ``time``.
+
+        The clock always ends at exactly ``time`` even if the queue ran
+        dry earlier, so periodic observers outside the kernel can rely on
+        a full interval having elapsed.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot run backwards to t={time} from now={self.now}")
+        self._guard_reentrancy()
+        try:
+            while not self._stopped:
+                next_time = self.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+            self.now = max(self.now, float(time))
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` / :meth:`run_until` to return."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _guard_reentrancy(self) -> None:
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator now={self.now:.6f} pending={self.pending_events} "
+                f"executed={self._events_executed}>")

@@ -1,0 +1,98 @@
+"""Periodic processes and one-shot timers on top of the kernel.
+
+The emulation platform of the paper has several fixed-rate activities —
+the 10 ms thermal sensor update, the frame source, the playback sink, the
+policy evaluation tick.  :class:`PeriodicProcess` captures that pattern
+once so each subsystem does not reimplement self-rescheduling callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+
+class PeriodicProcess:
+    """Invokes ``callback(process)`` every ``period`` seconds.
+
+    The callback receives the process itself, so it can inspect
+    :attr:`ticks` or call :meth:`stop` to terminate the recurrence.
+
+    Parameters
+    ----------
+    sim:
+        Kernel to schedule on.
+    period:
+        Interval between invocations, strictly positive.
+    callback:
+        Called as ``callback(self)`` on every tick.
+    start_delay:
+        Delay before the first tick (defaults to one full period, i.e.
+        the first tick happens at ``now + period``).
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: Callable[["PeriodicProcess"], Any],
+                 start_delay: Optional[float] = None):
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = float(period)
+        self.callback = callback
+        self.ticks = 0
+        self._event: Optional[Event] = None
+        self._stopped = False
+        first = self.period if start_delay is None else float(start_delay)
+        self._event = sim.schedule(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        # Reschedule before invoking so the callback can cancel us cleanly.
+        self._event = self.sim.schedule(self.period, self._fire)
+        self.callback(self)
+
+    def stop(self) -> None:
+        """Stop ticking.  Safe to call from within the callback."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Used for timeouts (e.g. the original Stop&Go resume timeout): arming
+    an already-armed timer re-arms it at the new deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self.sim = sim
+        self.callback = callback
+        self._event: Optional[Event] = None
+
+    def arm(self, delay: float) -> None:
+        """(Re-)arm the timer to fire ``delay`` seconds from now."""
+        self.disarm()
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def disarm(self) -> None:
+        """Cancel any pending expiry."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()

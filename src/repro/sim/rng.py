@@ -1,0 +1,53 @@
+"""Seeded randomness for simulations.
+
+All stochastic behaviour (sensor noise, load jitter in synthetic
+workloads) flows through a :class:`SimRandom` owned by the experiment
+configuration, so a run is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SimRandom:
+    """Thin deterministic wrapper around :class:`random.Random`.
+
+    Exists (rather than using :mod:`random` directly) so that (a) the
+    global interpreter RNG is never touched by the library, and (b) tests
+    can substitute a recording double.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(items)
+
+    def shuffled(self, items: Sequence[T]) -> List[T]:
+        """A shuffled *copy* of ``items`` (the input is left untouched)."""
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def fork(self, stream: int) -> "SimRandom":
+        """A new independent generator derived from this seed.
+
+        Subsystems get their own stream so adding a consumer of
+        randomness in one module does not perturb another module's draws.
+        """
+        return SimRandom(hash((self.seed, int(stream))) & 0x7FFFFFFF)

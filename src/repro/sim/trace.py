@@ -1,0 +1,63 @@
+"""Time-series trace recording.
+
+Every metric in the experiments (temperatures, queue levels, frequencies,
+migrations) is recorded as a named time series through a single
+:class:`TraceRecorder`, which keeps the instrumentation concerns out of
+the simulation models themselves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+
+class TraceRecorder:
+    """Collects ``(time, value)`` samples under string keys."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    def record(self, key: str, time: float, value: float) -> None:
+        """Append one sample to series ``key`` (no-op when disabled)."""
+        if self.enabled:
+            self._series[key].append((time, value))
+
+    def keys(self) -> Iterable[str]:
+        return self._series.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(self, key: str) -> List[Tuple[float, float]]:
+        """The raw ``(time, value)`` list for ``key`` (empty if absent)."""
+        return self._series.get(key, [])
+
+    def times(self, key: str) -> List[float]:
+        return [t for t, _ in self.series(key)]
+
+    def values(self, key: str) -> List[float]:
+        return [v for _, v in self.series(key)]
+
+    def last(self, key: str) -> Tuple[float, float]:
+        """Most recent sample of ``key``.
+
+        Raises ``KeyError`` if the series is empty, because callers that
+        ask for the latest sensor value are broken if there is none.
+        """
+        samples = self.series(key)
+        if not samples:
+            raise KeyError(f"no samples recorded for {key!r}")
+        return samples[-1]
+
+    def window(self, key: str, t_from: float,
+               t_to: float) -> List[Tuple[float, float]]:
+        """Samples with ``t_from <= time <= t_to`` (inclusive both ends)."""
+        return [(t, v) for t, v in self.series(key) if t_from <= t <= t_to]
+
+    def clear(self) -> None:
+        self._series.clear()

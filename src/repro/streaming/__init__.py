@@ -1,0 +1,37 @@
+"""Streaming application framework.
+
+Builds frame-processing pipelines (dataflow graphs of tasks connected by
+bounded message queues) and runs them on the MPOS: a frame source pushes
+at the frame rate, a playback sink pops at the frame rate, and every pop
+from an empty final queue is a deadline miss — exactly the QoS metric of
+the paper ("if the queue of the last stage gets empty a deadline miss
+occurs", Sec. 5.2).
+"""
+
+from repro.streaming.frames import Frame, FrameSource, PlaybackSink
+from repro.streaming.graph import SINK, SOURCE, EdgeSpec, StreamGraph, TaskSpec
+from repro.streaming.qos import QoSTracker
+from repro.streaming.application import StreamingApplication
+from repro.streaming.sdr_app import (
+    SDR_TABLE2_LOADS,
+    TABLE2_MAPPING,
+    build_sdr_application,
+    build_sdr_graph,
+)
+
+__all__ = [
+    "EdgeSpec",
+    "Frame",
+    "FrameSource",
+    "PlaybackSink",
+    "QoSTracker",
+    "SDR_TABLE2_LOADS",
+    "SINK",
+    "SOURCE",
+    "StreamGraph",
+    "StreamingApplication",
+    "TABLE2_MAPPING",
+    "TaskSpec",
+    "build_sdr_application",
+    "build_sdr_graph",
+]

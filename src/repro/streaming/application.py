@@ -1,0 +1,144 @@
+"""Application runtime: instantiate a graph on the MPOS.
+
+Creates the message queues and tasks from a :class:`StreamGraph`,
+applies the initial mapping, wires queue wake-ups, and starts the frame
+source(s) and playback sink(s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.streaming.frames import FrameSource, PlaybackSink
+from repro.streaming.graph import SINK, SOURCE, StreamGraph
+from repro.streaming.qos import QoSTracker
+
+
+class StreamingApplication:
+    """A running streaming pipeline.
+
+    Use :meth:`build` rather than the constructor.
+
+    Attributes
+    ----------
+    qos:
+        Deadline-miss / latency accounting for the whole pipeline.
+    queues:
+        Queue objects by edge name (``"lpf->demod"``).
+    tasks:
+        Task objects by name.
+    """
+
+    def __init__(self, sim: Simulator, mpos: MPOS, frame_period_s: float,
+                 qos: QoSTracker):
+        self.sim = sim
+        self.mpos = mpos
+        self.frame_period_s = float(frame_period_s)
+        self.qos = qos
+        self.queues: Dict[str, MsgQueue] = {}
+        self.tasks: Dict[str, StreamTask] = {}
+        self.sources: List[FrameSource] = []
+        self.sinks: List[PlaybackSink] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sim: Simulator, mpos: MPOS, graph: StreamGraph,
+              mapping: Dict[str, int], frame_period_s: float,
+              queue_capacity: int = 6,
+              sink_start_delay_frames: int = 4,
+              trace: Optional[TraceRecorder] = None,
+              load_jitter: Optional[float] = None,
+              jitter_seed: int = 0) -> "StreamingApplication":
+        """Instantiate ``graph`` on ``mpos`` with the given mapping.
+
+        Parameters
+        ----------
+        mapping:
+            Task name -> core index (the paper's Table 2 placement for
+            the SDR benchmark).
+        queue_capacity:
+            Default frame capacity for edges that do not specify one.
+        sink_start_delay_frames:
+            Initial playback buffering in frame periods — the pipeline's
+            slack against stalls.
+        load_jitter:
+            When given, overrides every task spec's per-frame workload
+            jitter fraction (data-dependent DSP cost).
+        jitter_seed:
+            Seed for the per-task jitter streams (deterministic runs).
+        """
+        graph.validate()
+        missing = [s.name for s in graph.task_specs if s.name not in mapping]
+        if missing:
+            raise ValueError(f"mapping misses tasks: {missing}")
+
+        qos = QoSTracker(trace)
+        app = cls(sim, mpos, frame_period_s, qos)
+
+        for edge in graph.edges:
+            capacity = edge.capacity if edge.capacity is not None \
+                else queue_capacity
+            queue = MsgQueue(edge.name, capacity, edge.frame_bytes)
+            mpos.bind_queue(queue)
+            app.queues[edge.name] = queue
+
+        for spec in graph.task_specs:
+            jitter = spec.jitter_fraction if load_jitter is None \
+                else load_jitter
+            task = StreamTask(
+                spec.name,
+                cycles_per_frame=spec.resolve_cycles(frame_period_s),
+                frame_period_s=frame_period_s,
+                context_bytes=spec.context_bytes,
+                code_bytes=spec.code_bytes,
+                jitter_fraction=jitter,
+                jitter_seed=jitter_seed)
+            # Deterministic wiring order: edge declaration order.
+            task.inputs = [app.queues[e.name] for e in graph.inputs_of(spec.name)]
+            task.outputs = [app.queues[e.name]
+                            for e in graph.outputs_of(spec.name)]
+            app.tasks[spec.name] = task
+
+        # Map tasks before traffic starts so DVFS settles first.
+        for spec in graph.task_specs:
+            mpos.map_task(app.tasks[spec.name], mapping[spec.name])
+
+        for edge in graph.source_edges():
+            app.sources.append(FrameSource(
+                sim, app.queues[edge.name], frame_period_s, qos))
+        delay = sink_start_delay_frames * frame_period_s
+        for edge in graph.sink_edges():
+            app.sinks.append(PlaybackSink(
+                sim, app.queues[edge.name], frame_period_s, qos,
+                start_delay_s=delay))
+        return app
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def queue_levels(self) -> Dict[str, int]:
+        return {name: q.level for name, q in self.queues.items()}
+
+    def min_sink_level(self) -> int:
+        """Occupancy of the final-stage queue(s) — the deadline buffer."""
+        return min(s.queue.level for s in self.sinks)
+
+    def task_loads_at_mapped_freq(self) -> Dict[str, float]:
+        """Per-task utilization at its core's current frequency — the
+        form Table 2 reports."""
+        out = {}
+        for name, task in self.tasks.items():
+            f = self.mpos.chip.tile(task.core_index).frequency_hz
+            out[name] = task.load_at(f)
+        return out
+
+    def stop(self) -> None:
+        for s in self.sources:
+            s.stop()
+        for s in self.sinks:
+            s.stop()

@@ -1,0 +1,80 @@
+"""Frame objects, the periodic source and the playback sink.
+
+The source models the PCM radio sampler: one frame enters the pipeline
+every frame period regardless of what the pipeline does (a full input
+queue means the sample is lost).  The sink models audio playback: after
+an initial buffering delay it consumes exactly one frame per period, and
+a pop from an empty queue is an audible glitch — a deadline miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mpos.queues import MsgQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.streaming.qos import QoSTracker
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One unit of streamed data flowing through the pipeline."""
+
+    seq: int
+    created_at: float
+
+
+class FrameSource:
+    """Pushes a new frame into ``queue`` every ``period_s``."""
+
+    def __init__(self, sim: Simulator, queue: MsgQueue, period_s: float,
+                 qos: Optional[QoSTracker] = None):
+        self.sim = sim
+        self.queue = queue
+        self.period_s = float(period_s)
+        self.qos = qos
+        self.frames_produced = 0
+        self._process = PeriodicProcess(sim, self.period_s, self._tick)
+
+    def _tick(self, _p: PeriodicProcess) -> None:
+        frame = Frame(self.frames_produced, self.sim.now)
+        self.frames_produced += 1
+        if not self.queue.push(frame) and self.qos is not None:
+            self.qos.record_source_drop(self.sim.now)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+
+class PlaybackSink:
+    """Pops one frame from ``queue`` every ``period_s`` after a delay.
+
+    ``start_delay_s`` is the initial buffering: it sets how much slack
+    the pipeline has before a stall (core gated, task frozen during
+    migration) becomes an audible deadline miss.
+    """
+
+    def __init__(self, sim: Simulator, queue: MsgQueue, period_s: float,
+                 qos: QoSTracker, start_delay_s: float):
+        if start_delay_s < 0:
+            raise ValueError("start_delay_s must be non-negative")
+        self.sim = sim
+        self.queue = queue
+        self.period_s = float(period_s)
+        self.qos = qos
+        self.start_delay_s = float(start_delay_s)
+        self._process = PeriodicProcess(
+            sim, self.period_s, self._tick,
+            start_delay=self.start_delay_s + self.period_s)
+
+    def _tick(self, _p: PeriodicProcess) -> None:
+        frame = self.queue.pop()
+        if frame is None:
+            self.qos.record_miss(self.sim.now)
+        else:
+            self.qos.record_play(self.sim.now, frame.created_at)
+
+    def stop(self) -> None:
+        self._process.stop()

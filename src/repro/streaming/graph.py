@@ -1,0 +1,153 @@
+"""Dataflow graph specification for streaming applications.
+
+A :class:`StreamGraph` declares tasks (with their Table 2-style loads)
+and directed edges (bounded queues).  The special endpoints
+:data:`SOURCE` and :data:`SINK` mark where frames enter and leave the
+pipeline.  Validation checks the structural properties the runtime
+relies on: unique names, known endpoints, acyclicity, and that source
+and sink exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.mpos.task import MIN_CONTEXT_BYTES
+
+#: Sentinel endpoint names for graph edges.
+SOURCE = "__source__"
+SINK = "__sink__"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Declares one streaming task.
+
+    The paper characterizes tasks by the load they impose at a given
+    core frequency (Table 2); ``cycles_per_frame`` is derived as
+    ``load_pct/100 * at_freq_hz * frame_period`` by the application
+    builder.  Alternatively ``cycles_per_frame`` can be given directly.
+    """
+
+    name: str
+    load_pct: Optional[float] = None
+    at_freq_hz: Optional[float] = None
+    cycles_per_frame: Optional[float] = None
+    context_bytes: int = MIN_CONTEXT_BYTES
+    code_bytes: int = MIN_CONTEXT_BYTES
+    jitter_fraction: float = 0.0
+
+    def resolve_cycles(self, frame_period_s: float) -> float:
+        """Cycle budget per frame for a given frame period."""
+        if self.cycles_per_frame is not None:
+            return float(self.cycles_per_frame)
+        if self.load_pct is None or self.at_freq_hz is None:
+            raise ValueError(
+                f"task {self.name!r} needs either cycles_per_frame or "
+                f"load_pct + at_freq_hz")
+        return (self.load_pct / 100.0) * self.at_freq_hz * frame_period_s
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One bounded queue between two endpoints (task names or sentinels)."""
+
+    src: str
+    dst: str
+    capacity: Optional[int] = None   # None -> application default
+    frame_bytes: int = 4096
+
+    @property
+    def name(self) -> str:
+        src = "source" if self.src == SOURCE else self.src
+        dst = "sink" if self.dst == SINK else self.dst
+        return f"{src}->{dst}"
+
+
+class StreamGraph:
+    """A validated collection of task and edge specifications."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, TaskSpec] = {}
+        self._edges: List[EdgeSpec] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, spec: TaskSpec) -> "StreamGraph":
+        if spec.name in self._tasks:
+            raise ValueError(f"duplicate task name {spec.name!r}")
+        if spec.name in (SOURCE, SINK):
+            raise ValueError(f"{spec.name!r} is a reserved endpoint name")
+        self._tasks[spec.name] = spec
+        return self
+
+    def connect(self, src: str, dst: str, capacity: Optional[int] = None,
+                frame_bytes: int = 4096) -> "StreamGraph":
+        self._edges.append(EdgeSpec(src, dst, capacity, frame_bytes))
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def task_specs(self) -> List[TaskSpec]:
+        return list(self._tasks.values())
+
+    @property
+    def edges(self) -> List[EdgeSpec]:
+        return list(self._edges)
+
+    def task_spec(self, name: str) -> TaskSpec:
+        return self._tasks[name]
+
+    def inputs_of(self, name: str) -> List[EdgeSpec]:
+        return [e for e in self._edges if e.dst == name]
+
+    def outputs_of(self, name: str) -> List[EdgeSpec]:
+        return [e for e in self._edges if e.src == name]
+
+    def source_edges(self) -> List[EdgeSpec]:
+        return [e for e in self._edges if e.src == SOURCE]
+
+    def sink_edges(self) -> List[EdgeSpec]:
+        return [e for e in self._edges if e.dst == SINK]
+
+    def total_fse_load(self, f_max_hz: float, frame_period_s: float) -> float:
+        """Sum of all tasks' full-speed-equivalent loads (fractions)."""
+        return sum(s.resolve_cycles(frame_period_s) / frame_period_s / f_max_hz
+                   for s in self._tasks.values())
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on structural problems."""
+        if not self._tasks:
+            raise ValueError("graph has no tasks")
+        endpoints = set(self._tasks) | {SOURCE, SINK}
+        for e in self._edges:
+            if e.src not in endpoints:
+                raise ValueError(f"edge {e.name}: unknown source {e.src!r}")
+            if e.dst not in endpoints:
+                raise ValueError(f"edge {e.name}: unknown dest {e.dst!r}")
+            if e.src == SINK or e.dst == SOURCE:
+                raise ValueError(f"edge {e.name}: wrong sentinel direction")
+        if not self.source_edges():
+            raise ValueError("graph has no source edge")
+        if not self.sink_edges():
+            raise ValueError("graph has no sink edge")
+        for name in self._tasks:
+            if not self.inputs_of(name):
+                raise ValueError(f"task {name!r} has no input edge")
+            if not self.outputs_of(name):
+                raise ValueError(f"task {name!r} has no output edge")
+        dg = nx.DiGraph()
+        for e in self._edges:
+            dg.add_edge(e.src, e.dst)
+        if not nx.is_directed_acyclic_graph(dg):
+            cycle = nx.find_cycle(dg)
+            raise ValueError(f"graph contains a cycle: {cycle}")

@@ -1,0 +1,86 @@
+"""Quality-of-service accounting.
+
+The paper's QoS metric is the frame (deadline) miss count at the output
+of the software pipeline.  The tracker also keeps playback latency and
+source overflow statistics, which the narrative experiments use to find
+the minimum queue sizing that sustains migration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.trace import TraceRecorder
+
+
+class QoSTracker:
+    """Counts played frames, deadline misses and source drops."""
+
+    def __init__(self, trace: Optional[TraceRecorder] = None):
+        self.trace = trace
+        self.frames_played = 0
+        self.deadline_misses = 0
+        self.source_drops = 0
+        self.miss_times: List[float] = []
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+
+    # ------------------------------------------------------------------
+    # recording (called by sources/sinks)
+    # ------------------------------------------------------------------
+    def record_play(self, now: float, created_at: float) -> None:
+        self.frames_played += 1
+        latency = now - created_at
+        self._latency_sum += latency
+        if latency > self._latency_max:
+            self._latency_max = latency
+        if self.trace is not None:
+            self.trace.record("qos.latency", now, latency)
+
+    def record_miss(self, now: float) -> None:
+        self.deadline_misses += 1
+        self.miss_times.append(now)
+        if self.trace is not None:
+            self.trace.record("qos.miss", now, 1.0)
+
+    def record_source_drop(self, now: float) -> None:
+        self.source_drops += 1
+        if self.trace is not None:
+            self.trace.record("qos.source_drop", now, 1.0)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def frames_total(self) -> int:
+        return self.frames_played + self.deadline_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of playback deadlines that found no frame."""
+        total = self.frames_total
+        return self.deadline_misses / total if total else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.frames_played:
+            return 0.0
+        return self._latency_sum / self.frames_played
+
+    @property
+    def max_latency_s(self) -> float:
+        return self._latency_max
+
+    def misses_in_window(self, t_from: float, t_to: float) -> int:
+        """Miss count within a time window (figures measure after the
+        warm-up phase only)."""
+        return sum(1 for t in self.miss_times if t_from <= t <= t_to)
+
+    def reset(self) -> None:
+        """Forget everything (used at the end of the warm-up phase)."""
+        self.frames_played = 0
+        self.deadline_misses = 0
+        self.source_drops = 0
+        self.miss_times.clear()
+        self._latency_sum = 0.0
+        self._latency_max = 0.0

@@ -1,0 +1,40 @@
+"""Compact thermal model (HotSpot-style equivalent RC network).
+
+The paper runs the HotSpot-based thermal library of [13] on a host PC and
+writes per-block temperatures back to the emulated MPSoC every 10 ms.  We
+reproduce the same structure: a block-level RC network derived from the
+floorplan, a package node to ambient, exact integration over each sensor
+interval, and a sensor subsystem that publishes core temperatures to the
+OS/policy layer at the 10 ms period stated in Sec. 4.
+"""
+
+from repro.thermal.package import (
+    HIGH_PERFORMANCE,
+    MOBILE_EMBEDDED,
+    ThermalPackageParams,
+)
+from repro.thermal.rc_network import RCNetwork, build_network
+from repro.thermal.grid import GridThermalModel, render_ascii_map
+from repro.thermal.integrator import EulerIntegrator, ExactIntegrator
+from repro.thermal.sensors import ThermalSubsystem
+from repro.thermal.calibration import (
+    settling_time,
+    steady_state_report,
+    thermal_time_constant,
+)
+
+__all__ = [
+    "EulerIntegrator",
+    "ExactIntegrator",
+    "GridThermalModel",
+    "HIGH_PERFORMANCE",
+    "MOBILE_EMBEDDED",
+    "RCNetwork",
+    "ThermalPackageParams",
+    "ThermalSubsystem",
+    "build_network",
+    "render_ascii_map",
+    "settling_time",
+    "steady_state_report",
+    "thermal_time_constant",
+]

@@ -1,0 +1,159 @@
+"""Equivalent RC thermal network construction.
+
+Given a floorplan and package parameters, builds the linear system
+
+    C * dT/dt = -K * T + P + b
+
+where ``T`` stacks one temperature per block plus one package node,
+``K`` is the conductance Laplacian (lateral block-block legs, vertical
+block-package legs, package-ambient leg), ``P`` is the power vector
+(zero on the package node) and ``b = g_ambient * T_ambient`` enters on
+the package node only.  This is the block-level variant of the HotSpot
+methodology the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.platform.floorplan import Floorplan
+from repro.thermal.package import ThermalPackageParams
+
+PACKAGE_NODE = "__package__"
+
+
+class RCNetwork:
+    """The assembled thermal network.
+
+    Attributes
+    ----------
+    node_names:
+        Block names in order, followed by the package node.
+    capacitance:
+        Per-node heat capacities, J/K.
+    conductance:
+        The symmetric positive-definite matrix ``K`` (W/K) including the
+        ambient leg on the package diagonal.
+    ambient_vector:
+        Per-node conductance to ambient (non-zero only on the package).
+    ambient_c:
+        Ambient temperature.
+    """
+
+    def __init__(self, node_names: Sequence[str], capacitance: np.ndarray,
+                 conductance: np.ndarray, ambient_vector: np.ndarray,
+                 ambient_c: float):
+        self.node_names = list(node_names)
+        self.capacitance = np.asarray(capacitance, dtype=float)
+        self.conductance = np.asarray(conductance, dtype=float)
+        self.ambient_vector = np.asarray(ambient_vector, dtype=float)
+        self.ambient_c = float(ambient_c)
+        n = len(self.node_names)
+        if self.capacitance.shape != (n,):
+            raise ValueError("capacitance vector shape mismatch")
+        if self.conductance.shape != (n, n):
+            raise ValueError("conductance matrix shape mismatch")
+        if self.ambient_vector.shape != (n,):
+            raise ValueError("ambient vector shape mismatch")
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of die blocks (excludes the package node)."""
+        return self.n_nodes - 1
+
+    def index(self, name: str) -> int:
+        return self._index[name]
+
+    def full_power_vector(self, block_power: np.ndarray) -> np.ndarray:
+        """Extend a per-block power vector with the zero package entry."""
+        if len(block_power) != self.n_blocks:
+            raise ValueError(
+                f"expected {self.n_blocks} block powers, got {len(block_power)}")
+        return np.concatenate([np.asarray(block_power, dtype=float), [0.0]])
+
+    def forcing_vector(self, block_power: np.ndarray) -> np.ndarray:
+        """``P + b`` — the constant forcing term of the ODE."""
+        return (self.full_power_vector(block_power)
+                + self.ambient_vector * self.ambient_c)
+
+    def steady_state(self, block_power: np.ndarray) -> np.ndarray:
+        """Equilibrium temperatures for constant power: ``K T = P + b``."""
+        return np.linalg.solve(self.conductance,
+                               self.forcing_vector(block_power))
+
+    def initial_temperatures(self) -> np.ndarray:
+        """A cold start: every node at ambient."""
+        return np.full(self.n_nodes, self.ambient_c, dtype=float)
+
+    def derivative(self, temps: np.ndarray,
+                   block_power: np.ndarray) -> np.ndarray:
+        """``dT/dt`` at the given state (used by the Euler integrator)."""
+        rhs = self.forcing_vector(block_power) - self.conductance @ temps
+        return rhs / self.capacitance
+
+    def min_time_constant(self) -> float:
+        """Smallest node time constant — the Euler stability bound."""
+        return float(np.min(self.capacitance / np.diag(self.conductance)))
+
+
+def build_network(floorplan: Floorplan, block_names: Sequence[str],
+                  params: ThermalPackageParams,
+                  ambient_c: float = 35.0) -> RCNetwork:
+    """Construct the RC network for ``block_names`` on ``floorplan``.
+
+    ``block_names`` fixes the node ordering (it must match the chip's
+    block order so power vectors line up).  Every named block must exist
+    in the floorplan; floorplan blocks not listed are ignored.
+    """
+    names: List[str] = list(block_names)
+    for name in names:
+        if name not in floorplan:
+            raise ValueError(f"block {name!r} not present in floorplan")
+    n = len(names) + 1  # + package node
+    pkg = n - 1
+    index = {name: i for i, name in enumerate(names)}
+
+    capacitance = np.zeros(n)
+    conductance = np.zeros((n, n))
+    ambient_vector = np.zeros(n)
+
+    # Vertical legs: block <-> package, plus block capacitances.
+    for name in names:
+        i = index[name]
+        area = floorplan.area_mm2(name)
+        g_v = 1.0 / params.block_vertical_resistance(area)
+        capacitance[i] = params.block_capacitance(area)
+        conductance[i, i] += g_v
+        conductance[pkg, pkg] += g_v
+        conductance[i, pkg] -= g_v
+        conductance[pkg, i] -= g_v
+
+    # Lateral legs between abutting blocks.
+    for a, b, edge in floorplan.adjacencies():
+        if a not in index or b not in index:
+            continue
+        dist = floorplan.rect(a).center_distance_mm(floorplan.rect(b))
+        g_l = params.k_lateral_w_per_k * edge / dist
+        i, j = index[a], index[b]
+        conductance[i, i] += g_l
+        conductance[j, j] += g_l
+        conductance[i, j] -= g_l
+        conductance[j, i] -= g_l
+
+    # Package node: capacity and leg to ambient.
+    capacitance[pkg] = params.package_capacitance
+    g_amb = 1.0 / params.r_package_k_per_w
+    conductance[pkg, pkg] += g_amb
+    ambient_vector[pkg] = g_amb
+
+    return RCNetwork(names + [PACKAGE_NODE], capacitance, conductance,
+                     ambient_vector, ambient_c)

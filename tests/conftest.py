@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def chip(sim):
+    """A default 3-tile Conf1 chip bound to the ``sim`` fixture."""
+    return build_chip(lambda: sim.now, 3, CONF1_STREAMING, sim=sim)
+
+
+@pytest.fixture
+def chip2(sim):
+    """A 2-tile chip for the small scheduling/migration tests."""
+    return build_chip(lambda: sim.now, 2, CONF1_STREAMING, sim=sim)

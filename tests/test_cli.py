@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["list"], ["table1"], ["table2"], ["fig2"],
+                     ["fig7"], ["narrative"], ["run"],
+                     ["ablation", "top-k"]):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--policy", "stopgo", "--threshold", "2",
+             "--package", "highperf", "--strategy", "recreation"])
+        assert args.policy == "stopgo"
+        assert args.threshold == 2.0
+        assert args.package == "highperf"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "bogus"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table2" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "RISC32" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Core 1 (533 MHz)" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "task-recreation" in out
+
+    def test_run_short(self, capsys):
+        assert main(["run", "--policy", "energy", "--warmup", "3",
+                     "--measure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=energy-balance" in out
+
+    def test_fig7_short(self, capsys):
+        from repro.experiments.figures import clear_cache
+        clear_cache()
+        assert main(["fig7", "--warmup", "3", "--measure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Thermal-Balancing (ours)" in out
+        clear_cache()
+
+    def test_run_show_trace(self, capsys):
+        assert main(["run", "--policy", "energy", "--warmup", "2",
+                     "--measure", "2", "--show-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "core temperatures" in out
+        assert "core2" in out
+
+    def test_run_dump_traces(self, capsys, tmp_path):
+        path = tmp_path / "traces.csv"
+        assert main(["run", "--policy", "energy", "--warmup", "2",
+                     "--measure", "2", "--dump-traces", str(path)]) == 0
+        assert path.read_text().startswith("time_s,temp.core0")
+
+    def test_new_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig1"]).command == "fig1"
+        args = parser.parse_args(["scaling", "--cores", "2", "3"])
+        assert args.cores == [2, 3]
+        args = parser.parse_args(["thermal-map", "--policy", "migra",
+                                  "--cell", "0.4"])
+        assert args.cell == 0.4
+        assert parser.parse_args(
+            ["ablation", "stopgo-variant"]).name == "stopgo-variant"
+
+    def test_thermal_map_runs(self, capsys):
+        # A coarse, short map keeps this test quick.
+        assert main(["thermal-map", "--policy", "energy",
+                     "--cell", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest block" in out
+        assert "C]" in out

@@ -1,0 +1,172 @@
+"""Tests for the experiment configuration, runner, tables and figures.
+
+Heavy end-to-end sweeps live in ``benchmarks/``; here we use shortened
+phases to validate the harness logic itself.
+"""
+
+import pytest
+
+from repro.experiments.config import (
+    PACKAGES,
+    PLATFORMS,
+    THRESHOLD_SWEEP_C,
+    ExperimentConfig,
+)
+from repro.experiments.figures import FigureSeries, clear_cache, figure2, \
+    run_cached
+from repro.experiments.runner import build_system, make_policy, run_experiment
+from repro.experiments.tables import table1, table2
+from repro.policies.energy_balance import EnergyBalancing
+from repro.policies.load_balance import LoadBalancing
+from repro.policies.migra import MigraThermalBalancer
+from repro.policies.stop_go import StopAndGo
+
+SHORT = dict(warmup_s=5.0, measure_s=5.0)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.warmup_s == 12.5          # Sec. 5.2 execution phase
+        assert cfg.sensor_period_s == 0.01   # Sec. 4 update rate
+        assert cfg.n_cores == 3
+        assert cfg.threshold_c in THRESHOLD_SWEEP_C
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(policy="nonsense")
+
+    def test_unknown_package_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(package="arctic")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(platform="conf9")
+
+    def test_variant_replaces_fields(self):
+        cfg = ExperimentConfig().variant(threshold_c=2.0, package="highperf")
+        assert cfg.threshold_c == 2.0
+        assert cfg.package_params is PACKAGES["highperf"]
+
+    def test_cache_key_distinguishes_configs(self):
+        a = ExperimentConfig(threshold_c=1.0)
+        b = ExperimentConfig(threshold_c=2.0)
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == ExperimentConfig(threshold_c=1.0).cache_key()
+
+    def test_platform_presets_registered(self):
+        assert set(PLATFORMS) == {"conf1", "conf2"}
+
+    def test_t_end(self):
+        assert ExperimentConfig(warmup_s=2.0, measure_s=3.0).t_end == 5.0
+
+
+class TestMakePolicy:
+    def test_policy_types(self):
+        assert isinstance(make_policy(ExperimentConfig(policy="migra")),
+                          MigraThermalBalancer)
+        assert isinstance(make_policy(ExperimentConfig(policy="stopgo")),
+                          StopAndGo)
+        assert isinstance(make_policy(ExperimentConfig(policy="energy")),
+                          EnergyBalancing)
+        assert isinstance(make_policy(ExperimentConfig(policy="load")),
+                          LoadBalancing)
+
+    def test_threshold_propagated(self):
+        pol = make_policy(ExperimentConfig(policy="migra", threshold_c=2.0))
+        assert pol.threshold_c == 2.0
+
+    def test_daemon_cadence_propagated(self):
+        pol = make_policy(ExperimentConfig(policy="migra",
+                                           daemon_period_s=0.25))
+        assert pol.eval_period_s == 0.25
+
+
+class TestRunner:
+    def test_build_system_wires_everything(self):
+        sut = build_system(ExperimentConfig(**SHORT))
+        assert sut.chip.n_tiles == 3
+        assert len(sut.app.tasks) == 6
+        assert sut.policy.mpos is sut.mpos
+        assert sut.guard is not None
+
+    def test_policy_disabled_during_warmup(self):
+        cfg = ExperimentConfig(policy="migra", **SHORT)
+        sut = build_system(cfg)
+        sut.sim.run_until(cfg.warmup_s)
+        assert not sut.policy.enabled
+        assert len(sut.mpos.engine.records) == 0
+
+    def test_run_produces_report(self):
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        result = run_experiment(cfg)
+        assert result.report.policy == "energy-balance"
+        assert result.report.duration_s == 5.0
+        assert result.report.frames_played > 0
+        assert len(result.report.core_mean_c) == 3
+
+    def test_traceless_config_rejected_by_runner(self):
+        cfg = ExperimentConfig(trace_enabled=False, **SHORT)
+        with pytest.raises(ValueError):
+            run_experiment(cfg)
+
+    def test_guard_can_be_disabled(self):
+        sut = build_system(ExperimentConfig(panic_guard=False, **SHORT))
+        assert sut.guard is None
+
+    def test_conf2_platform_runs(self):
+        cfg = ExperimentConfig(platform="conf2", policy="energy", **SHORT)
+        result = run_experiment(cfg)
+        # ARM11-class cores burn less power: cooler die than Conf1.
+        conf1 = run_experiment(ExperimentConfig(policy="energy", **SHORT))
+        assert result.report.peak_c < conf1.report.peak_c
+
+    def test_recreation_strategy_selected(self):
+        from repro.mpos.migration import TaskRecreation
+        sut = build_system(ExperimentConfig(
+            migration_strategy="recreation", **SHORT))
+        assert isinstance(sut.mpos.engine.strategy, TaskRecreation)
+
+
+class TestTables:
+    def test_table1_text(self):
+        text = table1().to_text()
+        assert "RISC32-streaming" in text
+        assert "DCache" in text
+
+    def test_table2_reproduces_loads(self):
+        text = table2(settle_s=0.5).to_text()
+        assert "Core 1 (533 MHz)" in text
+        assert "Core 2 (266 MHz)" in text
+        assert "36.7" in text           # BPF1 load
+        assert "60.9" in text           # BPF2/BPF3 load
+
+
+class TestFigures:
+    def test_figure2_series_shapes(self):
+        fig = figure2(sizes_kb=(64, 128, 256))
+        assert len(fig.x) == 3
+        repl = fig.series["task-replication"]
+        recr = fig.series["task-recreation"]
+        assert all(r > p for r, p in zip(recr, repl))
+        assert repl == sorted(repl)
+
+    def test_figure_series_to_text(self):
+        fig = figure2(sizes_kb=(64, 128))
+        text = fig.to_text()
+        assert "Figure 2" in text
+        assert "task-replication" in text
+
+    def test_run_cached_reuses_results(self):
+        clear_cache()
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        first = run_cached(cfg)
+        second = run_cached(cfg)
+        assert first is second
+        clear_cache()
+
+    def test_figure_series_dataclass(self):
+        fig = FigureSeries(figure="F", title="t", x_label="x",
+                           y_label="y", x=[1.0], series={"s": [2.0]})
+        assert "F" in fig.to_text()

@@ -1,0 +1,199 @@
+"""Tests for the extension modules: scaling, thermal map, energy
+accounting, generalized SDR mappings."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scaling import ScalingRow, render, scaling_study
+from repro.experiments.thermal_map import thermal_map
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+from repro.streaming.sdr_app import default_mapping
+
+SHORT = ExperimentConfig(warmup_s=6.0, measure_s=6.0)
+
+
+class TestCumulativeEnergy:
+    def test_counter_never_resets(self):
+        sim = Simulator()
+        chip = build_chip(lambda: sim.now, 2, CONF1_STREAMING, sim=sim)
+        chip.set_tile_active(0, True)
+        sim.run_until(1.0)
+        chip.drain_average_power()           # resets the drain counter
+        first = chip.cumulative_energy_j().sum()
+        sim.run_until(2.0)
+        chip.drain_average_power()
+        second = chip.cumulative_energy_j().sum()
+        assert second > first > 0
+
+    def test_cumulative_matches_power_integral(self):
+        sim = Simulator()
+        chip = build_chip(lambda: sim.now, 2, CONF1_STREAMING, sim=sim)
+        chip.set_tile_active(0, True)
+        p = chip.current_power_w().sum()
+        sim.run_until(3.0)
+        assert chip.cumulative_energy_j().sum() == pytest.approx(3.0 * p)
+
+    def test_report_contains_energy(self):
+        report = run_experiment(SHORT.variant(policy="energy")).report
+        assert report.energy_j > 0
+        assert report.avg_power_w == pytest.approx(
+            report.energy_j / 6.0)
+        assert "J over the window" in report.to_text()
+
+
+class TestEnergyNeutrality:
+    def test_thermal_balancing_does_not_cost_energy(self):
+        """The paper's constraint: the policy 'reduces thermal gradient
+        without impacting energy dissipation'.  Within 3 %."""
+        base = ExperimentConfig(warmup_s=12.5, measure_s=15.0)
+        e = run_experiment(base.variant(policy="energy")).report.energy_j
+        m = run_experiment(base.variant(policy="migra",
+                                        threshold_c=3.0)).report.energy_j
+        assert abs(m - e) / e < 0.03
+
+
+class TestDefaultMapping:
+    def test_reproduces_table2_shape_for_3x3(self):
+        mapping = default_mapping(3, 3)
+        assert mapping == {"BPF1": 0, "DEMOD": 0, "BPF2": 1, "SUM": 1,
+                           "BPF3": 2, "LPF": 2}
+
+    def test_round_robin_for_more_bands(self):
+        mapping = default_mapping(5, 4)
+        assert mapping["BPF5"] == 0
+        assert mapping["BPF4"] == 3
+
+    def test_two_core_mapping_valid(self):
+        mapping = default_mapping(2, 2)
+        assert set(mapping.values()) <= {0, 1}
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            default_mapping(3, 0)
+
+
+class TestScalingStudy:
+    def test_policy_helps_at_every_core_count(self):
+        rows = scaling_study(core_counts=(2, 4),
+                             base=ExperimentConfig(warmup_s=12.5,
+                                                   measure_s=10.0))
+        for row in rows:
+            assert row.balanced_std_c < row.static_std_c
+            assert row.std_reduction > 0.2
+            assert row.deadline_misses <= 3
+
+    def test_render(self):
+        row = ScalingRow(3, 5.0, 2.0, 10.0, 3.0, 1.5, 0)
+        text = render([row])
+        assert "3 cores" in text and "60.0% less" in text
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_study(core_counts=(1,))
+
+
+class TestThermalMap:
+    def test_energy_map_has_core0_hotspot(self):
+        result = thermal_map(SHORT.variant(policy="energy"),
+                             average_window_s=2.0)
+        assert result.hottest_block == "core0"
+        assert result.peak_c > 60.0
+        assert "@" in result.text
+
+    def test_balancing_reduces_peak(self):
+        base = ExperimentConfig(warmup_s=12.5, measure_s=15.0)
+        hot = thermal_map(base.variant(policy="energy"),
+                          average_window_s=10.0)
+        cool = thermal_map(base.variant(policy="migra", threshold_c=2.0),
+                           average_window_s=10.0)
+        assert cool.peak_c < hot.peak_c - 3.0
+        assert cool.spread_c < hot.spread_c
+
+
+class TestSensorNoise:
+    def test_noise_reaches_policy_not_metrics(self):
+        """Traces must carry ground truth; listeners the noisy values."""
+        import numpy as np
+        from repro.experiments.runner import build_system
+        cfg = SHORT.variant(policy="energy", sensor_noise_c=3.0)
+        sut = build_system(cfg)
+        seen = []
+        sut.sensors.add_listener(lambda now, t: seen.append(t.copy()))
+        sut.sim.run_until(1.0)
+        traced = np.array([sut.trace.values(f"temp.core{i}")[-1]
+                           for i in range(3)])
+        noisy = seen[-1]
+        # Noisy listener values deviate from the traced ground truth.
+        assert not np.allclose(noisy, traced, atol=1e-6)
+
+    def test_noisy_run_is_deterministic_per_seed(self):
+        cfg = SHORT.variant(policy="migra", threshold_c=2.0,
+                            sensor_noise_c=1.0)
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.report.migrations == b.report.migrations
+        assert a.report.pooled_std_c == b.report.pooled_std_c
+
+    def test_policy_tolerates_moderate_noise(self):
+        base = ExperimentConfig(warmup_s=12.5, measure_s=12.0,
+                                policy="migra", threshold_c=2.0)
+        clean = run_experiment(base)
+        noisy = run_experiment(base.variant(sensor_noise_c=1.0))
+        assert noisy.report.deadline_misses <= 3
+        assert abs(noisy.report.pooled_std_c
+                   - clean.report.pooled_std_c) < 0.8
+
+
+class TestLoadJitter:
+    def test_jittered_task_draws_vary_around_mean(self):
+        from repro.mpos.task import StreamTask
+        task = StreamTask("t", cycles_per_frame=1e6, frame_period_s=0.04,
+                          jitter_fraction=0.3, jitter_seed=7)
+        draws = [task.draw_frame_cycles() for _ in range(200)]
+        assert min(draws) >= 0.7e6
+        assert max(draws) <= 1.3e6
+        assert max(draws) - min(draws) > 0.3e6   # actually varying
+        mean = sum(draws) / len(draws)
+        assert abs(mean - 1e6) < 0.05e6
+
+    def test_zero_jitter_is_exact(self):
+        from repro.mpos.task import StreamTask
+        task = StreamTask("t", cycles_per_frame=1e6, frame_period_s=0.04)
+        assert task.draw_frame_cycles() == 1e6
+
+    def test_invalid_jitter_rejected(self):
+        from repro.mpos.task import StreamTask
+        with pytest.raises(ValueError):
+            StreamTask("t", 1e6, 0.04, jitter_fraction=1.0)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        cfg = SHORT.variant(policy="migra", threshold_c=2.0,
+                            load_jitter=0.25)
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.report.pooled_std_c == b.report.pooled_std_c
+        assert a.report.frames_played == b.report.frames_played
+
+    def test_pipeline_sustains_moderate_jitter(self):
+        cfg = SHORT.variant(policy="migra", threshold_c=2.0,
+                            load_jitter=0.3)
+        result = run_experiment(cfg)
+        assert result.report.deadline_misses <= 3
+        assert result.report.source_drops <= 3
+
+
+class TestNBandApplications:
+    def test_runner_supports_four_cores(self):
+        cfg = SHORT.variant(n_cores=4, n_bands=4, policy="energy")
+        result = run_experiment(cfg)
+        assert len(result.report.core_mean_c) == 4
+        assert result.report.deadline_misses == 0
+
+    def test_two_core_system_runs_with_policy(self):
+        cfg = SHORT.variant(n_cores=2, n_bands=2, policy="migra",
+                            threshold_c=2.0)
+        result = run_experiment(cfg)
+        assert result.report.deadline_misses <= 3

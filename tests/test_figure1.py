@@ -1,0 +1,53 @@
+"""Tests for the Figure 1 two-core example reproduction."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import (
+    FIG1_MAPPING,
+    build_fig1_graph,
+    figure1,
+)
+
+SHORT = ExperimentConfig(warmup_s=10.0, measure_s=10.0)
+
+
+class TestGraph:
+    def test_fig1_graph_is_valid(self):
+        build_fig1_graph().validate()
+
+    def test_fig1_loads(self):
+        g = build_fig1_graph()
+        assert g.task_spec("A").load_pct == 50.0
+        assert g.task_spec("B").load_pct == 40.0
+        assert g.task_spec("C").load_pct == 40.0
+
+    def test_mapping_places_ab_together(self):
+        assert FIG1_MAPPING["A"] == FIG1_MAPPING["B"] == 0
+        assert FIG1_MAPPING["C"] == 1
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1(threshold_c=1.0, base=SHORT)
+
+    def test_dvfs_frequencies_differ(self, result):
+        """Core 1 (90% FSE) runs faster than core 2 (40% FSE)."""
+        assert result.freqs_before_mhz[0] > result.freqs_before_mhz[1]
+
+    def test_energy_balanced_but_thermally_unbalanced(self, result):
+        assert result.spread_unbalanced_c > 5.0
+
+    def test_periodic_migration_flattens(self, result):
+        assert result.spread_balanced_c < 0.5 * result.spread_unbalanced_c
+        assert result.migrations_per_s > 0.5
+
+    def test_task_b_is_the_one_exchanged(self, result):
+        """The paper's Fig. 1b migrates exactly task B."""
+        assert result.migrated_task_names == ("B",)
+
+    def test_report_text(self, result):
+        text = result.to_text()
+        assert "Figure 1" in text
+        assert "migrations/s" in text

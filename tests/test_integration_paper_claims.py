@@ -1,0 +1,166 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test runs the full stack (shortened phases where possible) and
+checks a specific statement from the paper's evaluation, so a regression
+that silently breaks a figure's *shape* fails here rather than only in
+the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+# Shortened but still thermally meaningful phases: the mobile package
+# settles in ~10 s, and its measurement window must cover several
+# Stop&Go gate cycles for the std-dev ordering to be out of the initial
+# transient; the fast package gets there 6x sooner.
+MOBILE = dict(warmup_s=12.5, measure_s=20.0)
+FAST = dict(warmup_s=4.0, measure_s=12.0)
+
+
+def run(policy, theta, package="mobile", **kw):
+    base = dict(MOBILE if package == "mobile" else FAST)
+    base.update(kw)
+    return run_experiment(ExperimentConfig(
+        policy=policy, threshold_c=theta, package=package, **base))
+
+
+@pytest.fixture(scope="module")
+def mobile_runs():
+    """Shared run matrix for the mobile package claims."""
+    out = {}
+    for policy in ("energy", "stopgo", "migra"):
+        for theta in (1.0, 3.0):
+            out[(policy, theta)] = run(policy, theta, "mobile")
+    return out
+
+
+@pytest.fixture(scope="module")
+def fast_runs():
+    out = {}
+    for policy in ("energy", "stopgo", "migra"):
+        for theta in (1.0, 3.0):
+            out[(policy, theta)] = run(policy, theta, "highperf")
+    return out
+
+
+class TestSection52Mobile:
+    def test_initial_gradient_about_10C(self, mobile_runs):
+        """'10 degrees Centigrades exist between the hottest (core 1)
+        and the coolest core (core 3)' under energy balancing."""
+        report = mobile_runs[("energy", 3.0)].report
+        assert 7.0 < report.mean_spread_c < 16.0
+
+    def test_hottest_is_core1_coolest_core3(self, mobile_runs):
+        means = mobile_runs[("energy", 3.0)].report.core_mean_c
+        assert means[0] == max(means)
+        assert means[2] == min(means)
+
+    def test_same_freq_cores_differ_by_position(self, mobile_runs):
+        """Cores 2 and 3 run at 266 MHz, yet their temperatures differ
+        because of floorplan position."""
+        means = mobile_runs[("energy", 3.0)].report.core_mean_c
+        assert means[1] > means[2] + 0.2
+
+    def test_migration_balances_within_about_a_second(self):
+        result = run("migra", 3.0, "mobile")
+        tm = result.temperature
+        t_bal = tm.first_time_balanced(3.0, hold_s=0.5)
+        assert t_bal is not None
+        assert t_bal - 12.5 < 2.5   # within ~2.5 s of enabling
+
+    def test_fig7_ordering_energy_worst_migra_best(self, mobile_runs):
+        for theta in (1.0, 3.0):
+            e = mobile_runs[("energy", theta)].report.pooled_std_c
+            s = mobile_runs[("stopgo", theta)].report.pooled_std_c
+            m = mobile_runs[("migra", theta)].report.pooled_std_c
+            assert m < s < e
+
+    def test_fig7_std_grows_with_threshold(self, mobile_runs):
+        for policy in ("stopgo", "migra"):
+            lo = mobile_runs[(policy, 1.0)].report.pooled_std_c
+            hi = mobile_runs[(policy, 3.0)].report.pooled_std_c
+            assert hi > lo
+
+    def test_fig8_migra_bounds_misses_stopgo_does_not(self, mobile_runs):
+        for theta in (1.0, 3.0):
+            m = mobile_runs[("migra", theta)].report.deadline_misses
+            s = mobile_runs[("stopgo", theta)].report.deadline_misses
+            assert m <= 3
+            assert s > 20 * max(m, 1)
+
+    def test_energy_balancing_never_migrates_or_misses(self, mobile_runs):
+        report = mobile_runs[("energy", 3.0)].report
+        assert report.migrations == 0
+        assert report.deadline_misses == 0
+
+
+class TestSection52HighPerformance:
+    def test_fig9_energy_balancing_very_poor(self, fast_runs):
+        for theta in (1.0, 3.0):
+            e = fast_runs[("energy", theta)].report.pooled_std_c
+            m = fast_runs[("migra", theta)].report.pooled_std_c
+            s = fast_runs[("stopgo", theta)].report.pooled_std_c
+            assert e > m and e > s
+
+    def test_fig10_migra_far_fewer_misses_than_stopgo(self, fast_runs):
+        for theta in (1.0, 3.0):
+            m = fast_runs[("migra", theta)].report.deadline_misses
+            s = fast_runs[("stopgo", theta)].report.deadline_misses
+            assert m <= 3
+            assert s > 20 * max(m, 1)
+
+    def test_fig11_more_migrations_on_fast_package(self, mobile_runs,
+                                                   fast_runs):
+        for theta in (1.0, 3.0):
+            slow = mobile_runs[("migra", theta)].report.migrations_per_s
+            fast = fast_runs[("migra", theta)].report.migrations_per_s
+            assert fast > slow
+
+    def test_fig11_migration_rate_decreases_with_threshold(self,
+                                                           mobile_runs,
+                                                           fast_runs):
+        for runs in (mobile_runs, fast_runs):
+            lo = runs[("migra", 1.0)].report.migrations_per_s
+            hi = runs[("migra", 3.0)].report.migrations_per_s
+            assert lo >= hi
+
+    def test_migration_overhead_negligible(self, fast_runs):
+        """~3 migrations/s x 64 KB ~ 192 KB/s: 'a negligible overhead'.
+        Our bound: well under 5% of the 170 MB/s effective bus."""
+        report = fast_runs[("migra", 1.0)].report
+        assert report.migrated_bytes_per_s < 0.05 * 170e6
+
+    def test_each_migration_moves_at_least_64kb(self, fast_runs):
+        result = fast_runs[("migra", 1.0)]
+        for record in result.migration.records:
+            assert record.bytes_moved >= 64 * 1024
+
+
+class TestCrossCutting:
+    def test_determinism_same_seed_same_results(self):
+        a = run("migra", 2.0, "mobile", measure_s=6.0)
+        b = run("migra", 2.0, "mobile", measure_s=6.0)
+        assert a.report.pooled_std_c == b.report.pooled_std_c
+        assert a.report.migrations == b.report.migrations
+        assert a.report.deadline_misses == b.report.deadline_misses
+
+    def test_frames_conserved_under_migra(self):
+        """No frame is lost or duplicated by migration: frames played +
+        sink-queue backlog == frames that left the SUM task."""
+        result = run("migra", 1.0, "mobile", measure_s=8.0)
+        app = result.system.app
+        sum_out = app.queues["SUM->sink"]
+        assert sum_out.total_pushed == (app.qos.frames_played
+                                        + sum_out.level)
+
+    def test_panic_guard_untriggered_in_normal_runs(self):
+        result = run("migra", 3.0, "mobile", measure_s=6.0)
+        assert result.system.guard.panic_events == 0
+
+    def test_gated_time_accounted_for_stopgo(self):
+        result = run("stopgo", 3.0, "mobile", measure_s=8.0)
+        policy = result.system.policy
+        assert policy.gate_events > 0
+        assert policy.total_gated_time_s > 0

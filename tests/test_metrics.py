@@ -1,0 +1,182 @@
+"""Tests for the metrics layer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.migrationstats import MigrationMetrics
+from repro.metrics.qosstats import QoSMetrics
+from repro.metrics.report import RunReport
+from repro.metrics.temperature import TemperatureMetrics
+from repro.mpos.migration import MigrationRecord
+from repro.sim.trace import TraceRecorder
+from repro.streaming.qos import QoSTracker
+
+
+def synthetic_trace(series, dt=0.01):
+    """Build a trace with one temp series per core from a matrix."""
+    tr = TraceRecorder()
+    for k, row in enumerate(series):
+        t = (k + 1) * dt
+        for core, value in enumerate(row):
+            tr.record(f"temp.core{core}", t, float(value))
+    return tr
+
+
+class TestTemperatureMetrics:
+    def test_constant_uniform_temps_have_zero_std(self):
+        tr = synthetic_trace([[60, 60, 60]] * 10)
+        tm = TemperatureMetrics(tr, 3)
+        assert tm.spatial_std() == 0.0
+        assert tm.temporal_std() == 0.0
+        assert tm.pooled_std() == 0.0
+        assert tm.max_spread_c() == 0.0
+
+    def test_static_gradient_spatial_only(self):
+        tr = synthetic_trace([[70, 60, 50]] * 10)
+        tm = TemperatureMetrics(tr, 3)
+        expected = np.std([70, 60, 50])
+        assert tm.spatial_std() == pytest.approx(expected)
+        assert tm.temporal_std() == 0.0
+        assert tm.pooled_std() == pytest.approx(expected)
+        assert tm.mean_spread_c() == pytest.approx(20.0)
+
+    def test_oscillation_is_temporal_not_spatial(self):
+        rows = [[60 + (5 if k % 2 else -5)] * 3 for k in range(20)]
+        tm = TemperatureMetrics(synthetic_trace(rows), 3)
+        assert tm.spatial_std() == 0.0
+        assert tm.temporal_std() == pytest.approx(5.0)
+        assert tm.pooled_std() == pytest.approx(5.0)
+
+    def test_pooled_combines_both(self):
+        rows = [[65, 60, 55], [75, 70, 65]] * 10
+        tm = TemperatureMetrics(synthetic_trace(rows), 3)
+        assert tm.pooled_std() > tm.spatial_std()
+        assert tm.pooled_std() > tm.temporal_std() - 1e-12
+
+    def test_peak_and_core_mean(self):
+        tm = TemperatureMetrics(synthetic_trace([[70, 60, 50],
+                                                 [72, 61, 49]]), 3)
+        assert tm.peak_c() == 72
+        assert tm.core_mean_c(0) == pytest.approx(71.0)
+
+    def test_window_filtering(self):
+        tr = synthetic_trace([[60] * 3] * 5 + [[80] * 3] * 5)
+        tm = TemperatureMetrics(tr, 3, t_from=0.06, t_to=0.10)
+        assert tm.core_mean_c(0) == pytest.approx(80.0)
+
+    def test_empty_window_rejected(self):
+        tr = synthetic_trace([[60] * 3] * 5)
+        with pytest.raises(ValueError):
+            TemperatureMetrics(tr, 3, t_from=10.0, t_to=20.0)
+
+    def test_misaligned_series_rejected(self):
+        tr = synthetic_trace([[60] * 3] * 5)
+        tr.record("temp.core0", 99.0, 60.0)
+        with pytest.raises(ValueError):
+            TemperatureMetrics(tr, 3)
+
+    def test_time_outside_band(self):
+        rows = [[66, 60, 60]] * 5 + [[61, 60, 60]] * 5
+        tm = TemperatureMetrics(synthetic_trace(rows), 3)
+        # First half: deviation 4 from mean(62) -> outside 3 C band.
+        assert tm.time_outside_band(3.0) == pytest.approx(0.5)
+
+    def test_first_time_balanced(self):
+        rows = [[70, 60, 50]] * 5 + [[61, 60, 59]] * 10
+        tm = TemperatureMetrics(synthetic_trace(rows), 3)
+        t = tm.first_time_balanced(3.0, hold_s=0.05)
+        assert t == pytest.approx(0.06)
+
+    def test_first_time_balanced_none_when_never(self):
+        tm = TemperatureMetrics(synthetic_trace([[70, 60, 50]] * 10), 3)
+        assert tm.first_time_balanced(1.0) is None
+
+    def test_longest_excursion(self):
+        rows = ([[70, 60, 60]] * 3 + [[61, 60, 60]] * 3
+                + [[70, 60, 60]] * 6)
+        tm = TemperatureMetrics(synthetic_trace(rows), 3)
+        assert tm.longest_excursion_above(3.0) == pytest.approx(0.06)
+
+
+class TestMigrationMetrics:
+    def _records(self):
+        out = []
+        for k in range(5):
+            t = 1.0 + k
+            out.append(MigrationRecord(
+                task_name=f"t{k}", src_core=0, dst_core=1,
+                bytes_moved=65536, requested_at=t - 0.05,
+                frozen_at=t - 0.02, completed_at=t))
+        return out
+
+    def test_windowed_count_and_rate(self):
+        m = MigrationMetrics(self._records(), 0.0, 10.0)
+        assert m.count == 5
+        assert m.per_second == pytest.approx(0.5)
+
+    def test_window_excludes_outside(self):
+        m = MigrationMetrics(self._records(), 2.5, 4.5)
+        assert m.count == 2
+
+    def test_bytes_per_second(self):
+        m = MigrationMetrics(self._records(), 0.0, 10.0)
+        assert m.bytes_per_second == pytest.approx(5 * 65536 / 10.0)
+
+    def test_freeze_statistics(self):
+        m = MigrationMetrics(self._records(), 0.0, 10.0)
+        assert m.mean_freeze_s == pytest.approx(0.02)
+        assert m.max_freeze_s == pytest.approx(0.02)
+        assert m.mean_checkpoint_wait_s == pytest.approx(0.03)
+
+    def test_empty_window_ok(self):
+        m = MigrationMetrics([], 0.0, 1.0)
+        assert m.count == 0
+        assert m.mean_freeze_s == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationMetrics([], 1.0, 1.0)
+
+    def test_tasks_migrated_distinct(self):
+        recs = self._records() + self._records()
+        m = MigrationMetrics(recs, 0.0, 10.0)
+        assert m.tasks_migrated() == ["t0", "t1", "t2", "t3", "t4"]
+
+
+class TestQoSMetrics:
+    def test_windowed_misses(self):
+        qos = QoSTracker()
+        for t in (1.0, 2.0, 8.0):
+            qos.record_miss(t)
+        m = QoSMetrics(qos, 0.0, 5.0)
+        assert m.deadline_misses == 2
+        assert m.misses_per_second == pytest.approx(0.4)
+
+    def test_miss_rate(self):
+        qos = QoSTracker()
+        qos.record_miss(1.0)
+        for _ in range(9):
+            qos.record_play(1.0, 0.5)
+        m = QoSMetrics(qos, 0.0, 2.0)
+        assert m.miss_rate == pytest.approx(0.1)
+
+
+class TestRunReport:
+    def test_row_and_header_align(self):
+        report = RunReport(policy="migra", package="mobile",
+                           threshold_c=3.0, duration_s=25.0,
+                           pooled_std_c=1.5, deadline_misses=2,
+                           migrations_per_s=1.2,
+                           migrated_bytes_per_s=76800.0, peak_c=71.2)
+        row = report.to_row()
+        assert "migra" in row and "1.500" in row
+
+    def test_text_rendering_complete(self):
+        report = RunReport(policy="stopgo", package="highperf",
+                           threshold_c=2.0, duration_s=25.0,
+                           pooled_std_c=2.5, deadline_misses=300,
+                           miss_rate=0.48, core_mean_c=[60.0, 61.0, 62.0])
+        text = report.to_text()
+        assert "stopgo" in text
+        assert "300 deadline misses" in text
+        assert "core2=62.00C" in text

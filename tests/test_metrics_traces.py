@@ -1,0 +1,86 @@
+"""Tests for trace export and sparkline rendering."""
+
+import pytest
+
+from repro.metrics.traces import (
+    export_csv,
+    render_core_temperatures,
+    sparkline,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def make_trace():
+    tr = TraceRecorder()
+    for k in range(10):
+        t = 0.01 * (k + 1)
+        tr.record("temp.core0", t, 60.0 + k)
+        tr.record("temp.core1", t, 55.0)
+    return tr
+
+
+class TestExportCsv:
+    def test_header_and_rows(self):
+        text = export_csv(make_trace(), ["temp.core0", "temp.core1"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,temp.core0,temp.core1"
+        assert len(lines) == 11
+        assert lines[1].startswith("0.010000,60.000000,55.000000")
+
+    def test_missing_series_rejected(self):
+        with pytest.raises(KeyError):
+            export_csv(make_trace(), ["nope"])
+
+    def test_unaligned_series_get_empty_cells(self):
+        tr = make_trace()
+        tr.record("extra", 0.005, 1.0)
+        text = export_csv(tr, ["temp.core0", "extra"])
+        first_data = text.strip().splitlines()[1]
+        # At t=0.005 only "extra" has a value.
+        assert first_data == "0.005000,,1.000000"
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        export_csv(make_trace(), ["temp.core0"], path=str(path))
+        assert path.read_text().startswith("time_s,temp.core0")
+
+
+class TestSparkline:
+    def test_flat_series(self):
+        s = sparkline([5.0] * 20, width=10)
+        assert len(s) == 10
+        assert len(set(s)) == 1
+
+    def test_rising_series_ends_high(self):
+        s = sparkline(list(range(100)), width=10)
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_downsampling_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=40)) == 2
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_fixed_scale(self):
+        s = sparkline([0.0, 1.0], width=2, lo=0.0, hi=100.0)
+        assert s == "▁▁"
+
+
+class TestRenderCoreTemperatures:
+    def test_renders_all_cores(self):
+        text = render_core_temperatures(make_trace(), 2)
+        assert "core0" in text and "core1" in text
+        assert "C]" in text
+
+    def test_missing_core_rejected(self):
+        with pytest.raises(KeyError):
+            render_core_temperatures(make_trace(), 3)
+
+    def test_window_applies(self):
+        text = render_core_temperatures(make_trace(), 2, t_from=0.05,
+                                        t_to=0.08)
+        assert "core0" in text

@@ -1,0 +1,151 @@
+"""Tests for the stats daemons and the MPOS facade."""
+
+import pytest
+
+from repro.mpos.daemons import StatsBoard, TaskStat
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+def make_system(n_tiles=2, daemon_period_s=0.1):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    return sim, chip, MPOS(sim, chip, daemon_period_s=daemon_period_s)
+
+
+def pipeline_task(mpos, name, cycles=4e6, capacity=64):
+    qin = MsgQueue(f"{name}.in", capacity)
+    qout = MsgQueue(f"{name}.out", capacity)
+    mpos.bind_queue(qin)
+    mpos.bind_queue(qout)
+    task = StreamTask(name, cycles_per_frame=cycles, frame_period_s=0.04)
+    task.inputs, task.outputs = [qin], [qout]
+    return task, qin, qout
+
+
+class TestStatsBoard:
+    def test_write_and_snapshot(self):
+        board = StatsBoard()
+        stat = TaskStat("t", 0, 0.5, 100e6, 65536)
+        board.write(stat, now=1.0)
+        snap = board.snapshot()
+        assert snap["t"] == stat
+        assert board.updated_at == 1.0
+
+    def test_snapshot_is_a_copy(self):
+        board = StatsBoard()
+        board.write(TaskStat("t", 0, 0.5, 1e6, 1), now=0.0)
+        snap = board.snapshot()
+        snap.clear()
+        assert len(board) == 1
+
+    def test_rows_for_core(self):
+        board = StatsBoard()
+        board.write(TaskStat("a", 0, 0.1, 1e6, 1), now=0.0)
+        board.write(TaskStat("b", 1, 0.2, 1e6, 1), now=0.0)
+        assert [s.name for s in board.rows_for_core(1)] == ["b"]
+
+
+class TestSlaveDaemon:
+    def test_backlogged_task_reports_full_utilization(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t", cycles=4e6)
+        mpos.map_task(task, 0)
+        for _ in range(30):
+            qin.push("f")
+        # With a deep backlog the task runs continuously through the
+        # first daemon window: measured demand equals the core clock.
+        sim.run_until(0.105)
+        stat = mpos.board.snapshot()["t"]
+        f = chip.tile(0).frequency_hz
+        assert stat.utilization == pytest.approx(1.0, rel=0.05)
+        assert stat.demand_hz == pytest.approx(f, rel=0.05)
+
+    def test_rate_limited_task_reports_nominal_demand(self):
+        from repro.sim.process import PeriodicProcess
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t", cycles=4e6)
+        mpos.map_task(task, 0)
+        # Feed exactly one frame per period: measured demand must match
+        # the nominal 4e6 / 0.04 = 100 MHz.
+        PeriodicProcess(sim, 0.04, lambda p: qin.push("f"))
+        sim.run_until(1.002)
+        stat = mpos.board.snapshot()["t"]
+        assert stat.demand_hz == pytest.approx(100e6, rel=0.1)
+
+    def test_idle_task_reports_zero_utilization(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t")
+        mpos.map_task(task, 0)
+        sim.run_until(0.5)   # no input frames at all
+        assert mpos.board.snapshot()["t"].utilization == pytest.approx(0.0)
+
+    def test_board_tracks_core_after_migration(self):
+        from repro.mpos.migration import MigrationPlan
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t")
+        mpos.map_task(task, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        sim.run_until(0.5)
+        assert mpos.board.snapshot()["t"].core_index == 1
+
+    def test_master_daemon_core_utilization(self):
+        sim, chip, mpos = make_system()
+        a, qa, _ = pipeline_task(mpos, "a", cycles=4e6)
+        b, qb, _ = pipeline_task(mpos, "b", cycles=4e6)
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 0)
+        for _ in range(30):
+            qa.push("f")
+            qb.push("f")
+        # Both backlogged: the core is saturated, so the per-core sum of
+        # utilizations published on the board is ~1.0.
+        sim.run_until(0.105)
+        util = mpos.master_daemon.utilization_of_core(0)
+        assert util == pytest.approx(1.0, rel=0.05)
+
+
+class TestMPOSFacade:
+    def test_duplicate_task_name_rejected(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        dup, *_ = pipeline_task(mpos, "a")
+        with pytest.raises(ValueError):
+            mpos.map_task(dup, 1)
+
+    def test_invalid_core_rejected(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        with pytest.raises(ValueError):
+            mpos.map_task(a, 5)
+
+    def test_tasks_on_core(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        b, *_ = pipeline_task(mpos, "b")
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 1)
+        assert mpos.tasks_on_core(0) == [a]
+        assert mpos.tasks_on_core(1) == [b]
+        assert mpos.core_of(b) == 1
+
+    def test_task_lookup_by_name(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        assert mpos.task("a") is a
+        with pytest.raises(KeyError):
+            mpos.task("missing")
+
+    def test_total_frames_done(self):
+        sim, chip, mpos = make_system()
+        a, qa, _ = pipeline_task(mpos, "a", cycles=1e6)
+        mpos.map_task(a, 0)
+        for _ in range(4):
+            qa.push("f")
+        sim.run_until(1.0)
+        assert mpos.total_frames_done() == 4

@@ -1,0 +1,86 @@
+"""Tests for the DVFS governor."""
+
+import pytest
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+def make_system(n_tiles=3):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    return sim, chip, MPOS(sim, chip)
+
+
+def task_with_fse(name, fse, f_max=533e6, period=0.04):
+    t = StreamTask(name, cycles_per_frame=fse * f_max * period,
+                   frame_period_s=period)
+    qin = MsgQueue(f"{name}.in", 4)
+    qout = MsgQueue(f"{name}.out", 4)
+    t.inputs, t.outputs = [qin], [qout]
+    return t
+
+
+class TestGovernor:
+    def test_empty_core_runs_at_minimum(self):
+        sim, chip, mpos = make_system()
+        mpos.governor.update_all()
+        for tile in chip.tiles:
+            assert tile.opp == tile.opp_table.min_point
+
+    def test_table2_frequencies_derived_from_loads(self):
+        """65% FSE -> 533 MHz; ~34%/40% FSE -> 266 MHz (Table 2)."""
+        sim, chip, mpos = make_system()
+        mpos.map_task(task_with_fse("BPF1", 0.367), 0)
+        mpos.map_task(task_with_fse("DEMOD", 0.283), 0)
+        mpos.map_task(task_with_fse("BPF2", 0.3045), 1)
+        mpos.map_task(task_with_fse("SUM", 0.031), 1)
+        mpos.map_task(task_with_fse("BPF3", 0.3045), 2)
+        mpos.map_task(task_with_fse("LPF", 0.094), 2)
+        mhz = [round(t.frequency_hz / 1e6) for t in chip.tiles]
+        assert mhz == [533, 266, 266]
+
+    def test_demand_aggregates_mapped_tasks(self):
+        sim, chip, mpos = make_system()
+        mpos.map_task(task_with_fse("a", 0.2), 0)
+        mpos.map_task(task_with_fse("b", 0.3), 0)
+        assert mpos.governor.core_demand_hz(0) == pytest.approx(0.5 * 533e6)
+
+    def test_update_returns_true_only_on_change(self):
+        sim, chip, mpos = make_system()
+        mpos.map_task(task_with_fse("a", 0.6), 0)
+        assert not mpos.governor.update_core(0)   # map_task updated it
+        mpos.map_task(task_with_fse("b", 0.3), 0)
+        # 0.9 FSE still needs 533 MHz: no change.
+        assert not mpos.governor.update_core(0)
+
+    def test_margin_bumps_selection(self):
+        sim, chip, mpos = make_system()
+        mpos_margin = MPOS(sim, chip, dvfs_margin=0.2)
+        # 45% FSE fits in 266.5 MHz without margin (239.85), not with
+        # 20% margin (287.8) -> 533.
+        mpos_margin.map_task(task_with_fse("a", 0.45), 0)
+        assert chip.tile(0).frequency_hz == pytest.approx(533e6)
+
+    def test_negative_margin_rejected(self):
+        sim, chip, mpos = make_system()
+        from repro.mpos.dvfs import DVFSGovernor
+        with pytest.raises(ValueError):
+            DVFSGovernor(mpos, margin=-0.1)
+
+    def test_frequencies_list_in_tile_order(self):
+        sim, chip, mpos = make_system()
+        mpos.map_task(task_with_fse("a", 0.6), 1)
+        freqs = mpos.governor.frequencies_hz()
+        assert len(freqs) == 3
+        assert freqs[1] == pytest.approx(533e6)
+
+    def test_opp_change_counter(self):
+        sim, chip, mpos = make_system()
+        before = mpos.governor.opp_changes
+        # Tiles boot at the max OPP; a small task drops core 0 down.
+        mpos.map_task(task_with_fse("a", 0.1), 0)
+        assert mpos.governor.opp_changes > before

@@ -1,0 +1,242 @@
+"""Tests for the migration strategies and engine."""
+
+import pytest
+
+from repro.mpos.migration import (
+    MigrationPlan,
+    TaskRecreation,
+    TaskReplication,
+)
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask, TaskState
+from repro.platform.bus import SharedBus
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+def make_system(strategy=None, n_tiles=2):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    mpos = MPOS(sim, chip, strategy=strategy or TaskReplication())
+    return sim, chip, mpos
+
+
+def pipeline_task(mpos, name, cycles=4e6, capacity=16):
+    qin = MsgQueue(f"{name}.in", capacity)
+    qout = MsgQueue(f"{name}.out", capacity)
+    mpos.bind_queue(qin)
+    mpos.bind_queue(qout)
+    task = StreamTask(name, cycles_per_frame=cycles, frame_period_s=0.04)
+    task.inputs, task.outputs = [qin], [qout]
+    return task, qin, qout
+
+
+class TestStrategyCostModels:
+    def test_replication_cheaper_than_recreation(self):
+        sim = Simulator()
+        bus = SharedBus(sim, 200e6, 0.15)
+        repl = TaskReplication()
+        recr = TaskRecreation()
+        for kb in (64, 256, 1024):
+            c_repl = repl.estimated_cost_cycles(kb * 1024, 533e6, bus)
+            c_recr = recr.estimated_cost_cycles(kb * 1024, 533e6, bus)
+            assert c_recr > c_repl
+
+    def test_fig2_offset_from_exec_reload(self):
+        """The recreation curve's offset: fork/exec cycles dominate at
+        the smallest size."""
+        sim = Simulator()
+        bus = SharedBus(sim, 200e6, 0.15)
+        gap = (TaskRecreation().estimated_cost_cycles(64 * 1024, 533e6, bus)
+               - TaskReplication().estimated_cost_cycles(64 * 1024, 533e6,
+                                                         bus))
+        assert gap > 3e6
+
+    def test_fig2_recreation_slope_steeper(self):
+        """The recreation curve grows faster with task size (file-system
+        reload on top of the bus transfer)."""
+        sim = Simulator()
+        bus = SharedBus(sim, 200e6, 0.15)
+
+        def slope(strategy):
+            lo = strategy.estimated_cost_cycles(64 * 1024, 533e6, bus)
+            hi = strategy.estimated_cost_cycles(1024 * 1024, 533e6, bus)
+            return (hi - lo) / (960 * 1024)
+
+        assert slope(TaskRecreation()) > 5 * slope(TaskReplication())
+
+    def test_cost_monotone_in_size(self):
+        sim = Simulator()
+        bus = SharedBus(sim, 200e6, 0.15)
+        for strat in (TaskReplication(), TaskRecreation()):
+            costs = [strat.estimated_cost_cycles(kb * 1024, 533e6, bus)
+                     for kb in (64, 128, 256, 512)]
+            assert costs == sorted(costs)
+            assert all(c > 0 for c in costs)
+
+    def test_invalid_strategy_params_rejected(self):
+        with pytest.raises(ValueError):
+            TaskReplication(sync_cycles=-1)
+        with pytest.raises(ValueError):
+            TaskRecreation(fs_bandwidth_bps=0)
+
+    def test_reload_time_zero_for_replication(self):
+        t = StreamTask("t", 1e6, 0.01)
+        assert TaskReplication().reload_seconds(t) == 0.0
+        assert TaskRecreation().reload_seconds(t) > 0.0
+
+
+class TestEngineProtocol:
+    def test_blocked_task_migrates_immediately(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t")
+        mpos.map_task(task, 0)
+        assert task.state is TaskState.BLOCKED_INPUT
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        assert mpos.engine.busy
+        sim.run_until(0.2)
+        assert not mpos.engine.busy
+        assert mpos.core_of(task) == 1
+        assert task.core_index == 1
+        assert len(mpos.engine.records) == 1
+
+    def test_running_task_waits_for_checkpoint(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t", cycles=40e6)
+        mpos.map_task(task, 0)
+        qin.push("f")
+        sim.run_until(0.01)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        record_none_yet = len(mpos.engine.records)
+        assert record_none_yet == 0
+        sim.run_until(1.0)
+        rec = mpos.engine.records[0]
+        assert task.frames_done >= 1        # finished the frame first
+        assert rec.checkpoint_wait_s > 0
+        assert mpos.core_of(task) == 1
+
+    def test_task_resumes_processing_after_migration(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t", cycles=4e6)
+        mpos.map_task(task, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        sim.run_until(0.1)
+        for _ in range(3):
+            qin.push("f")
+        sim.run_until(1.0)
+        assert task.frames_done == 3
+
+    def test_freeze_duration_positive_and_bounded(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t")
+        mpos.map_task(task, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        sim.run_until(1.0)
+        rec = mpos.engine.records[0]
+        assert 0 < rec.freeze_duration_s < 0.1
+
+    def test_recreation_freeze_longer_than_replication(self):
+        def freeze_with(strategy):
+            sim, chip, mpos = make_system(strategy=strategy)
+            task, qin, qout = pipeline_task(mpos, "t")
+            mpos.map_task(task, 0)
+            mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+            sim.run_until(2.0)
+            return mpos.engine.records[0].freeze_duration_s
+
+        assert freeze_with(TaskRecreation()) > freeze_with(TaskReplication())
+
+    def test_dvfs_updated_on_both_cores(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = pipeline_task(mpos, "t", cycles=8e6)  # 200 MHz
+        mpos.map_task(task, 0)
+        f0_before = chip.tile(0).frequency_hz
+        assert f0_before == pytest.approx(266.5e6)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        sim.run_until(0.5)
+        assert chip.tile(0).opp == chip.tile(0).opp_table.min_point
+        assert chip.tile(1).frequency_hz == pytest.approx(266.5e6)
+
+    def test_exchange_plan_moves_both_directions(self):
+        sim, chip, mpos = make_system()
+        a, qa_in, qa_out = pipeline_task(mpos, "a")
+        b, qb_in, qb_out = pipeline_task(mpos, "b")
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 1)
+        mpos.engine.request_plan(MigrationPlan(moves=[(a, 1), (b, 0)]))
+        sim.run_until(0.5)
+        assert mpos.core_of(a) == 1
+        assert mpos.core_of(b) == 0
+        assert mpos.engine.plans_completed == 1
+        assert len(mpos.engine.records) == 2
+
+    def test_concurrent_plans_rejected(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        b, *_ = pipeline_task(mpos, "b")
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(a, 1)]))
+        with pytest.raises(RuntimeError):
+            mpos.engine.request_plan(MigrationPlan(moves=[(b, 1)]))
+
+    def test_empty_plan_rejected(self):
+        sim, chip, mpos = make_system()
+        with pytest.raises(ValueError):
+            mpos.engine.request_plan(MigrationPlan(moves=[]))
+
+    def test_same_core_move_rejected(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        with pytest.raises(ValueError):
+            mpos.engine.request_plan(MigrationPlan(moves=[(a, 0)]))
+
+    def test_plan_listener_fired_on_completion(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        done = []
+        mpos.engine.add_plan_listener(done.append)
+        plan = MigrationPlan(moves=[(a, 1)], reason="test")
+        mpos.engine.request_plan(plan)
+        sim.run_until(0.5)
+        assert done == [plan]
+
+    def test_migration_counter_on_task(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(a, 1)]))
+        sim.run_until(0.5)
+        assert a.migrations == 1
+
+    def test_migrations_per_second_window(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(a, 1)]))
+        sim.run_until(10.0)
+        assert mpos.engine.migrations_per_second(0.0, 10.0) == \
+            pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            mpos.engine.migrations_per_second(5.0, 5.0)
+
+    def test_min_64kb_moved(self):
+        """Every migration moves at least the 64 KB OS allocation."""
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        mpos.map_task(a, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(a, 1)]))
+        sim.run_until(0.5)
+        assert mpos.engine.records[0].bytes_moved >= 64 * 1024
+
+    def test_plan_total_bytes(self):
+        sim, chip, mpos = make_system()
+        a, *_ = pipeline_task(mpos, "a")
+        b, *_ = pipeline_task(mpos, "b")
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 1)
+        plan = MigrationPlan(moves=[(a, 1), (b, 0)])
+        assert plan.total_bytes() == a.context_bytes + b.context_bytes

@@ -1,0 +1,299 @@
+"""Tests for the per-core round-robin scheduler.
+
+These tests drive a small two-tile system by hand: queues feed tasks,
+the kernel advances time, and the assertions check cycle accounting,
+blocking semantics, preemption, gating and checkpoint freezing.
+"""
+
+import pytest
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask, TaskState
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+def make_system(n_tiles=2, quantum_s=0.001):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    mpos = MPOS(sim, chip, quantum_s=quantum_s)
+    return sim, chip, mpos
+
+
+def make_task(name, cycles, period=0.04, inputs=(), outputs=()):
+    task = StreamTask(name, cycles_per_frame=cycles, frame_period_s=period)
+    task.inputs = list(inputs)
+    task.outputs = list(outputs)
+    return task
+
+
+def wired_queue(mpos, name, capacity=8):
+    q = MsgQueue(name, capacity)
+    mpos.bind_queue(q)
+    return q
+
+
+class TestBasicExecution:
+    def test_task_blocks_until_input_arrives(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 1e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        assert task.state is TaskState.BLOCKED_INPUT
+        qin.push("frame")
+        assert task.state in (TaskState.READY, TaskState.RUNNING)
+
+    def test_frame_completes_after_cycle_budget(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        # 53.3e6 cycles at min OPP (66.6 MHz)... the governor picks the
+        # smallest point covering demand; with 0.04 s period the demand
+        # is 1.3325e9 Hz -> saturates at 533 MHz.
+        task = make_task("t", 53.3e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        qin.push("frame")
+        sim.run_until(0.0999)
+        assert task.frames_done == 0
+        sim.run_until(0.101)
+        assert task.frames_done == 1
+        assert qout.level == 1
+
+    def test_cycles_accounted_exactly(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 5e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        for _ in range(3):
+            qin.push("f")
+        sim.run_until(1.0)
+        assert task.frames_done == 3
+        assert task.total_cycles == pytest.approx(15e6)
+
+    def test_idle_core_not_active(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 1e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        sim.run_until(0.05)
+        assert not chip.tile(0).active
+        qin.push("f")
+        assert chip.tile(0).active
+
+    def test_output_backpressure_blocks_task(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in", capacity=10)
+        qout = wired_queue(mpos, "out", capacity=1)
+        task = make_task("t", 1e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        for _ in range(5):
+            qin.push("f")
+        sim.run_until(0.5)
+        # One frame in the full output queue, one produced-but-blocked.
+        assert task.state is TaskState.BLOCKED_OUTPUT
+        assert qout.level == 1
+        # Draining the output lets it continue.
+        qout.pop()
+        sim.run_until(1.0)
+        assert task.frames_done >= 2
+
+    def test_multi_input_task_needs_all_inputs(self):
+        sim, chip, mpos = make_system()
+        q1 = wired_queue(mpos, "a")
+        q2 = wired_queue(mpos, "b")
+        qout = wired_queue(mpos, "out")
+        task = make_task("sum", 1e6, inputs=[q1, q2], outputs=[qout])
+        mpos.map_task(task, 0)
+        q1.push("f")
+        sim.run_until(0.1)
+        assert task.frames_done == 0
+        assert task.state is TaskState.BLOCKED_INPUT
+        q2.push("f")
+        sim.run_until(0.2)
+        assert task.frames_done == 1
+
+    def test_multi_output_fanout(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        outs = [wired_queue(mpos, f"o{i}") for i in range(3)]
+        task = make_task("demod", 1e6, inputs=[qin], outputs=outs)
+        mpos.map_task(task, 0)
+        qin.push("f")
+        sim.run_until(0.1)
+        assert all(q.level == 1 for q in outs)
+
+
+class TestRoundRobin:
+    def test_two_tasks_share_core_fairly(self):
+        sim, chip, mpos = make_system(quantum_s=0.001)
+        q1, q2 = wired_queue(mpos, "i1", 64), wired_queue(mpos, "i2", 64)
+        o1, o2 = wired_queue(mpos, "o1", 64), wired_queue(mpos, "o2", 64)
+        a = make_task("a", 50e6, inputs=[q1], outputs=[o1])
+        b = make_task("b", 50e6, inputs=[q2], outputs=[o2])
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 0)
+        for _ in range(20):
+            q1.push("f")
+            q2.push("f")
+        sim.run_until(1.0)
+        # Equal budgets, equal service: same completed frames (+-1).
+        assert abs(a.frames_done - b.frames_done) <= 1
+        assert a.frames_done > 0
+
+    def test_quantum_preemption_interleaves(self):
+        sim, chip, mpos = make_system(quantum_s=0.001)
+        q1, q2 = wired_queue(mpos, "i1", 8), wired_queue(mpos, "i2", 8)
+        o1, o2 = wired_queue(mpos, "o1", 8), wired_queue(mpos, "o2", 8)
+        a = make_task("a", 400e6, inputs=[q1], outputs=[o1])
+        b = make_task("b", 4e6, inputs=[q2], outputs=[o2])
+        mpos.map_task(a, 0)
+        mpos.map_task(b, 0)
+        q1.push("f")        # long frame starts first
+        q2.push("f")
+        sim.run_until(0.1)
+        # The short task must have completed long before the hog.
+        assert b.frames_done == 1
+        assert a.frames_done == 0
+
+    def test_context_switch_counter(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 1e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        qin.push("f")
+        sim.run_until(0.1)
+        assert mpos.scheduler(0).context_switches >= 1
+
+
+class TestGating:
+    def _system_with_running_task(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in", 64)
+        qout = wired_queue(mpos, "out", 64)
+        task = make_task("t", 40e6, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        for _ in range(10):
+            qin.push("f")
+        return sim, chip, mpos, task
+
+    def test_gate_halts_execution(self):
+        sim, chip, mpos, task = self._system_with_running_task()
+        sim.run_until(0.05)
+        done_before = task.frames_done
+        mpos.gate_core(0)
+        sim.run_until(0.5)
+        assert task.frames_done == done_before
+        assert chip.tile(0).gated
+
+    def test_ungate_resumes(self):
+        sim, chip, mpos, task = self._system_with_running_task()
+        sim.run_until(0.05)
+        mpos.gate_core(0)
+        sim.run_until(0.3)
+        mpos.ungate_core(0)
+        sim.run_until(1.5)
+        assert task.frames_done >= 5
+
+    def test_gate_preserves_cycle_accounting(self):
+        sim, chip, mpos, task = self._system_with_running_task()
+        sim.run_until(1.0)
+        mpos.gate_core(0)
+        mid_cycles = task.total_cycles
+        sim.run_until(1.2)
+        assert task.total_cycles == mid_cycles
+        mpos.ungate_core(0)
+        sim.run_until(3.0)
+        assert task.frames_done == 10
+        assert task.total_cycles == pytest.approx(400e6)
+
+    def test_double_gate_is_idempotent(self):
+        sim, chip, mpos, task = self._system_with_running_task()
+        mpos.gate_core(0)
+        mpos.gate_core(0)
+        mpos.ungate_core(0)
+        mpos.ungate_core(0)
+        sim.run_until(2.0)
+        assert task.frames_done == 10
+
+    def test_gated_cores_listed(self):
+        sim, chip, mpos, task = self._system_with_running_task()
+        mpos.gate_core(0)
+        assert mpos.gated_cores() == [0]
+        mpos.ungate_core(0)
+        assert mpos.gated_cores() == []
+
+
+class TestFrequencyChange:
+    def test_mid_slice_rescale_preserves_work(self):
+        sim, chip, mpos = make_system(quantum_s=0.01)
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        # Demand 2.5e8 -> 266.5 MHz OPP initially (one frame per 0.4 s).
+        task = make_task("t", 1e8, period=0.4, inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        qin.push("f")
+        sim.run_until(0.005)   # mid-slice
+        # Force max OPP.
+        chip.set_tile_opp(0, chip.tile(0).opp_table.max_point)
+        mpos.scheduler(0).on_frequency_changed()
+        sim.run_until(1.0)
+        assert task.frames_done == 1
+        assert task.total_cycles == pytest.approx(1e8, rel=1e-6)
+
+    def test_completion_time_reflects_frequency_mix(self):
+        sim, chip, mpos = make_system(quantum_s=0.01)
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 533e6 * 0.2, period=10.0,
+                         inputs=[qin], outputs=[qout])
+        mpos.map_task(task, 0)
+        # Governor picks a very low OPP for this tiny demand; pin the
+        # core at max for a deterministic check.
+        chip.set_tile_opp(0, chip.tile(0).opp_table.max_point)
+        mpos.scheduler(0).on_frequency_changed()
+        qin.push("f")
+        sim.run_until(0.2 + 0.011)
+        assert task.frames_done == 1
+
+
+class TestFreezing:
+    def test_freeze_now_at_checkpoint(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in")
+        qout = wired_queue(mpos, "out")
+        task = make_task("t", 1e6, inputs=[qin], outputs=[qout])
+        frozen = []
+        mpos.scheduler(0).set_freeze_callback(frozen.append)
+        mpos.map_task(task, 0)
+        assert task.state is TaskState.BLOCKED_INPUT
+        task.migration_target = 1
+        assert mpos.scheduler(0).freeze_now(task)
+        assert task.state is TaskState.FROZEN
+        assert frozen == [task]
+        # It no longer waits on the queue.
+        qin.push("f")
+        sim.run_until(0.1)
+        assert task.frames_done == 0
+
+    def test_mid_frame_task_freezes_at_next_checkpoint(self):
+        sim, chip, mpos = make_system()
+        qin = wired_queue(mpos, "in", 16)
+        qout = wired_queue(mpos, "out", 16)
+        task = make_task("t", 40e6, inputs=[qin], outputs=[qout])
+        frozen = []
+        mpos.scheduler(0).set_freeze_callback(frozen.append)
+        mpos.map_task(task, 0)
+        qin.push("f")
+        qin.push("f")
+        sim.run_until(0.01)   # mid-frame
+        task.migration_target = 1
+        assert not mpos.scheduler(0).freeze_now(task)
+        sim.run_until(1.0)
+        assert task.state is TaskState.FROZEN
+        assert task.frames_done == 1   # finished the frame, then froze
+        assert frozen == [task]

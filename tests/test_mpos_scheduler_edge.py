@@ -1,0 +1,123 @@
+"""Edge-case tests for the scheduler and migration interplay."""
+
+import pytest
+
+from repro.mpos.migration import MigrationPlan
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask, TaskState
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+
+
+def make_system(n_tiles=2, quantum_s=0.001):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    return sim, chip, MPOS(sim, chip, quantum_s=quantum_s)
+
+
+def make_task(mpos, name, cycles, in_cap=8, out_cap=8):
+    task = StreamTask(name, cycles_per_frame=cycles, frame_period_s=0.04)
+    qin, qout = MsgQueue(f"{name}.i", in_cap), MsgQueue(f"{name}.o", out_cap)
+    mpos.bind_queue(qin)
+    mpos.bind_queue(qout)
+    task.inputs, task.outputs = [qin], [qout]
+    return task, qin, qout
+
+
+class TestBlockedOutputMigration:
+    def test_migration_requested_while_blocked_output(self):
+        """A task stuck in EMIT must finish the emission before it can
+        freeze (the checkpoint is *between* iterations)."""
+        sim, chip, mpos = make_system()
+        task, qin, qout = make_task(mpos, "t", cycles=1e6, out_cap=1)
+        mpos.map_task(task, 0)
+        qin.push("f1")
+        qin.push("f2")
+        sim.run_until(0.5)
+        assert task.state is TaskState.BLOCKED_OUTPUT
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        sim.run_until(1.0)
+        assert task.state is TaskState.BLOCKED_OUTPUT   # still waiting
+        # Drain the output: emission completes, checkpoint fires,
+        # migration proceeds.
+        qout.pop()
+        sim.run_until(2.0)
+        assert mpos.core_of(task) == 1
+        assert task.frames_done == 2    # both frames eventually emitted
+
+    def test_frozen_task_ignores_queue_traffic(self):
+        sim, chip, mpos = make_system()
+        task, qin, qout = make_task(mpos, "t", cycles=1e6)
+        mpos.map_task(task, 0)
+        mpos.engine.request_plan(MigrationPlan(moves=[(task, 1)]))
+        # Frozen immediately (blocked at the checkpoint); pushes while
+        # in transit must not wake it on the old core.
+        assert task.state is TaskState.FROZEN
+        qin.push("f")
+        assert task.state is TaskState.FROZEN
+        sim.run_until(1.0)
+        assert mpos.core_of(task) == 1
+        assert task.frames_done == 1    # processed after landing
+
+
+class TestSliceBoundaryRaces:
+    def test_gate_exactly_at_slice_boundary(self):
+        sim, chip, mpos = make_system(quantum_s=0.001)
+        task, qin, qout = make_task(mpos, "t", cycles=40e6, in_cap=32)
+        mpos.map_task(task, 0)
+        for _ in range(5):
+            qin.push("f")
+        # Gate at an exact quantum multiple repeatedly.
+        for k in range(1, 6):
+            sim.run_until(0.001 * 7 * k)
+            mpos.gate_core(0)
+            sim.run_until(0.001 * 7 * k + 0.003)
+            mpos.ungate_core(0)
+        sim.run_until(3.0)
+        assert task.frames_done == 5
+        assert task.total_cycles == pytest.approx(200e6, rel=1e-9)
+
+    def test_frequency_change_exactly_at_slice_boundary(self):
+        sim, chip, mpos = make_system(quantum_s=0.001)
+        task, qin, qout = make_task(mpos, "t", cycles=40e6, in_cap=32)
+        mpos.map_task(task, 0)
+        for _ in range(3):
+            qin.push("f")
+        table = chip.tile(0).opp_table
+        for k, opp in enumerate(list(table.points) * 2):
+            sim.run_until(0.002 * (k + 1))
+            chip.set_tile_opp(0, opp)
+            mpos.scheduler(0).on_frequency_changed()
+        sim.run_until(5.0)
+        assert task.frames_done == 3
+        assert task.total_cycles == pytest.approx(120e6, rel=1e-9)
+
+    def test_empty_core_gate_ungate(self):
+        sim, chip, mpos = make_system()
+        mpos.gate_core(1)
+        sim.run_until(0.1)
+        mpos.ungate_core(1)
+        sim.run_until(0.2)   # no tasks: must simply not crash
+        assert not chip.tile(1).gated
+
+
+class TestReportSerialization:
+    def test_report_round_trips_through_json(self):
+        import json
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+        report = run_experiment(ExperimentConfig(
+            policy="energy", warmup_s=2.0, measure_s=2.0)).report
+        data = json.loads(report.to_json())
+        assert data["policy"] == "energy-balance"
+        assert data["frames_played"] == report.frames_played
+        assert len(data["core_mean_c"]) == 3
+
+    def test_cli_json_flag(self, capsys):
+        from repro.cli import main
+        assert main(["run", "--policy", "energy", "--warmup", "2",
+                     "--measure", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        import json
+        assert json.loads(out)["policy"] == "energy-balance"

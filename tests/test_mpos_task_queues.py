@@ -1,0 +1,183 @@
+"""Tests for the task model and message queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.task import MIN_CONTEXT_BYTES, StreamTask, TaskPhase, TaskState
+
+
+class TestStreamTask:
+    def test_demand_from_cycles_and_period(self):
+        t = StreamTask("t", cycles_per_frame=2e6, frame_period_s=0.04)
+        assert t.demand_hz == pytest.approx(50e6)
+
+    def test_fse_load(self):
+        t = StreamTask("t", cycles_per_frame=0.367 * 533e6 * 0.04,
+                       frame_period_s=0.04)
+        assert t.fse_load(533e6) == pytest.approx(0.367)
+
+    def test_load_at_slower_frequency_doubles(self):
+        t = StreamTask("t", cycles_per_frame=1e6, frame_period_s=0.01)
+        assert t.load_at(200e6) == pytest.approx(0.5)
+        assert t.load_at(100e6) == pytest.approx(1.0)
+
+    def test_context_clamped_to_os_minimum(self):
+        """The paper: each migration moves at least 64 KB, the minimum
+        memory space allocated by the OS."""
+        t = StreamTask("t", 1e6, 0.01, context_bytes=1000)
+        assert t.context_bytes == MIN_CONTEXT_BYTES
+
+    def test_larger_context_kept(self):
+        t = StreamTask("t", 1e6, 0.01, context_bytes=256 * 1024)
+        assert t.context_bytes == 256 * 1024
+
+    def test_initial_state(self):
+        t = StreamTask("t", 1e6, 0.01)
+        assert t.state is TaskState.NEW
+        assert t.phase is TaskPhase.ACQUIRE
+        assert t.frames_done == 0
+        assert not t.migration_pending
+
+    def test_checkpoint_predicate(self):
+        t = StreamTask("t", 1e6, 0.01)
+        t.state = TaskState.BLOCKED_INPUT
+        t.phase = TaskPhase.ACQUIRE
+        assert t.at_checkpoint
+        t.phase = TaskPhase.COMPUTE
+        assert not t.at_checkpoint
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StreamTask("t", 0.0, 0.01)
+        with pytest.raises(ValueError):
+            StreamTask("t", 1e6, 0.0)
+        with pytest.raises(ValueError):
+            StreamTask("t", 1e6, 0.01).fse_load(0.0)
+
+
+class TestMsgQueue:
+    def test_fifo_order(self):
+        q = MsgQueue("q", capacity=3)
+        q.push(1)
+        q.push(2)
+        assert q.pop() == 1
+        assert q.pop() == 2
+
+    def test_capacity_enforced(self):
+        q = MsgQueue("q", capacity=2)
+        assert q.push(1) and q.push(2)
+        assert not q.push(3)
+        assert q.full_pushes == 1
+        assert q.level == 2
+
+    def test_empty_pop_returns_none_and_counts(self):
+        q = MsgQueue("q", capacity=2)
+        assert q.pop() is None
+        assert q.empty_pops == 1
+
+    def test_level_and_flags(self):
+        q = MsgQueue("q", capacity=2)
+        assert q.is_empty and not q.is_full
+        q.push(1)
+        assert not q.is_empty
+        q.push(2)
+        assert q.is_full
+
+    def test_max_level_tracked(self):
+        q = MsgQueue("q", capacity=5)
+        for i in range(3):
+            q.push(i)
+        q.pop()
+        assert q.max_level == 3
+
+    def test_peek_does_not_remove(self):
+        q = MsgQueue("q", capacity=2)
+        q.push("a")
+        assert q.peek() == "a"
+        assert q.level == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MsgQueue("q", capacity=0)
+
+    def test_push_wakes_waiting_consumer(self):
+        q = MsgQueue("q", capacity=2)
+        woken = []
+        q.bind(wake_consumer=woken.append, wake_producer=lambda t: None)
+        task = object()
+        q.add_waiting_consumer(task)
+        q.push(1)
+        assert woken == [task]
+
+    def test_pop_wakes_waiting_producer(self):
+        q = MsgQueue("q", capacity=1)
+        woken = []
+        q.bind(wake_consumer=lambda t: None, wake_producer=woken.append)
+        q.push(1)
+        task = object()
+        q.add_waiting_producer(task)
+        q.pop()
+        assert woken == [task]
+
+    def test_no_wake_when_unbound(self):
+        q = MsgQueue("q", capacity=1)
+        q.add_waiting_consumer(object())
+        q.push(1)   # must not raise
+
+    def test_waiter_registration_is_idempotent(self):
+        q = MsgQueue("q", capacity=1)
+        task = object()
+        q.add_waiting_consumer(task)
+        q.add_waiting_consumer(task)
+        assert len(q.waiting_consumers) == 1
+
+    def test_remove_waiter(self):
+        q = MsgQueue("q", capacity=1)
+        task = object()
+        q.add_waiting_consumer(task)
+        q.add_waiting_producer(task)
+        q.remove_waiter(task)
+        assert not q.waiting_consumers
+        assert not q.waiting_producers
+
+    def test_consumer_not_woken_when_queue_drained_reentrantly(self):
+        """A waiter earlier in the list may consume the only frame; the
+        later waiter must not be woken for an empty queue."""
+        q = MsgQueue("q", capacity=2)
+        woken = []
+
+        def greedy_wake(task):
+            woken.append(task)
+            q.pop()    # the woken task immediately consumes
+
+        q.bind(wake_consumer=greedy_wake, wake_producer=lambda t: None)
+        q.add_waiting_consumer("t1")
+        q.add_waiting_consumer("t2")
+        q.push("frame")
+        assert woken == ["t1"]
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+    def test_level_never_exceeds_capacity(self, ops):
+        q = MsgQueue("q", capacity=4)
+        n = 0
+        for op in ops:
+            if op == "push":
+                q.push(n)
+                n += 1
+            else:
+                q.pop()
+            assert 0 <= q.level <= 4
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=50))
+    def test_conservation(self, capacity, pushes):
+        """pushed == popped + level + rejected."""
+        q = MsgQueue("q", capacity=capacity)
+        for i in range(pushes):
+            q.push(i)
+        drained = 0
+        while q.pop() is not None:
+            drained += 1
+        assert q.total_pushed == drained
+        assert q.total_pushed + q.full_pushes == pushes

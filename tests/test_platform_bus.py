@@ -1,0 +1,124 @@
+"""Tests for the shared bus with processor-sharing contention."""
+
+import pytest
+
+from repro.platform.bus import SharedBus
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def bus(sim):
+    # 100 MB/s raw, no background load: easy arithmetic.
+    return SharedBus(sim, bandwidth_bps=100e6, background_load=0.0)
+
+
+class TestSingleTransfer:
+    def test_completion_time(self, sim, bus):
+        done = []
+        bus.start_transfer(50e6, lambda t: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_callback_receives_transfer(self, sim, bus):
+        got = []
+        tr = bus.start_transfer(1e6, got.append)
+        sim.run()
+        assert got == [tr]
+        assert tr.finished_at == pytest.approx(0.01)
+
+    def test_stats_updated(self, sim, bus):
+        bus.start_transfer(1e6, lambda t: None)
+        sim.run()
+        assert bus.total_transfers == 1
+        assert bus.total_bytes_transferred == pytest.approx(1e6)
+
+    def test_transfer_time_alone(self, bus):
+        assert bus.transfer_time_alone(100e6) == pytest.approx(1.0)
+
+    def test_invalid_size_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.start_transfer(0, lambda t: None)
+
+
+class TestBackgroundLoad:
+    def test_background_reduces_bandwidth(self, sim):
+        bus = SharedBus(sim, bandwidth_bps=100e6, background_load=0.5)
+        done = []
+        bus.start_transfer(50e6, lambda t: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_effective_bandwidth(self, sim):
+        bus = SharedBus(sim, bandwidth_bps=200e6, background_load=0.25)
+        assert bus.effective_bandwidth_bps == pytest.approx(150e6)
+
+    def test_invalid_background_rejected(self, sim):
+        with pytest.raises(ValueError):
+            SharedBus(sim, bandwidth_bps=1e6, background_load=1.0)
+
+
+class TestContention:
+    def test_two_equal_transfers_finish_together_at_double_time(self, sim,
+                                                                 bus):
+        done = []
+        bus.start_transfer(50e6, lambda t: done.append(("a", sim.now)))
+        bus.start_transfer(50e6, lambda t: done.append(("b", sim.now)))
+        sim.run()
+        assert [t for _, t in done] == [pytest.approx(1.0),
+                                        pytest.approx(1.0)]
+
+    def test_short_transfer_delays_long_one(self, sim, bus):
+        done = {}
+        bus.start_transfer(80e6, lambda t: done.setdefault("long", sim.now))
+        bus.start_transfer(20e6, lambda t: done.setdefault("short", sim.now))
+        sim.run()
+        # Short: 20 MB at 50 MB/s -> 0.4 s.  Long: 20 MB done at 0.4 s,
+        # remaining 60 MB at full speed -> 0.4 + 0.6 = 1.0 s.
+        assert done["short"] == pytest.approx(0.4)
+        assert done["long"] == pytest.approx(1.0)
+
+    def test_late_joiner_shares_bandwidth(self, sim, bus):
+        done = {}
+        bus.start_transfer(60e6, lambda t: done.setdefault("first", sim.now))
+        sim.schedule(0.2, lambda: bus.start_transfer(
+            40e6, lambda t: done.setdefault("second", sim.now)))
+        sim.run()
+        # First alone for 0.2 s (20 MB), then shares: 40 MB left at
+        # 50 MB/s -> 0.8 s more -> 1.0 s total; second: 40 MB at 50 MB/s
+        # -> also done at 1.0 s.
+        assert done["first"] == pytest.approx(1.0)
+        assert done["second"] == pytest.approx(1.0)
+
+    def test_active_count_tracks_transfers(self, sim, bus):
+        bus.start_transfer(10e6, lambda t: None)
+        bus.start_transfer(10e6, lambda t: None)
+        assert bus.active_transfers == 2
+        assert bus.busy
+        sim.run()
+        assert bus.active_transfers == 0
+        assert not bus.busy
+
+    def test_float_dust_does_not_hang(self, sim):
+        """Regression: float rounding of now+delay must not leave a
+        transfer spinning forever at zero remaining bytes."""
+        bus = SharedBus(sim, bandwidth_bps=170e6, background_load=0.15)
+        sim.run_until(12.5)   # non-trivial clock, like the real runs
+        done = []
+        bus.start_transfer(65536, lambda t: done.append(sim.now))
+        sim.run(max_events=1000)
+        assert len(done) == 1
+        assert sim.pending_events == 0
+
+    def test_many_concurrent_transfers_complete(self, sim, bus):
+        done = []
+        for _ in range(10):
+            bus.start_transfer(1e6, lambda t: done.append(sim.now))
+        sim.run()
+        assert len(done) == 10
+        # All equal size, all sharing: all finish at 10x the solo time.
+        assert done[-1] == pytest.approx(0.1)

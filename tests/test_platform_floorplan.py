@@ -1,0 +1,149 @@
+"""Tests for floorplan geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.floorplan import Floorplan, Rect
+from repro.platform.presets import build_floorplan
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area_mm2 == pytest.approx(6.0)
+
+    def test_invalid_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, -1)
+
+    def test_center(self):
+        assert Rect(1, 1, 2, 4).center == (2.0, 3.0)
+
+    def test_overlap_detection(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))   # abutting, not overlap
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_shared_edge_vertical(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0.5, 2, 2)
+        assert a.shared_edge_mm(b) == pytest.approx(1.5)
+
+    def test_shared_edge_horizontal(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(0.5, 2, 1, 1)
+        assert a.shared_edge_mm(b) == pytest.approx(1.0)
+
+    def test_no_shared_edge_when_apart(self):
+        assert Rect(0, 0, 1, 1).shared_edge_mm(Rect(3, 3, 1, 1)) == 0.0
+
+    def test_corner_touch_is_not_an_edge(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 1, 1)
+        assert a.shared_edge_mm(b) == 0.0
+
+    def test_shared_edge_symmetry(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 2, 1)
+        assert a.shared_edge_mm(b) == b.shared_edge_mm(a)
+
+    def test_center_distance(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(3, 0, 2, 2)
+        assert a.center_distance_mm(b) == pytest.approx(3.0)
+
+
+class TestFloorplan:
+    def test_duplicate_name_rejected(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            fp.add("a", Rect(2, 0, 1, 1))
+
+    def test_overlapping_block_rejected(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 2, 2))
+        with pytest.raises(ValueError):
+            fp.add("b", Rect(1, 1, 2, 2))
+
+    def test_abutting_blocks_allowed(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 1, 1))
+        fp.add("b", Rect(1, 0, 1, 1))
+        assert len(fp) == 2
+
+    def test_adjacencies_listed_once(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 1, 1))
+        fp.add("b", Rect(1, 0, 1, 1))
+        adj = fp.adjacencies()
+        assert adj == [("a", "b", 1.0)]
+
+    def test_bounding_box(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 1, 1))
+        fp.add("b", Rect(3, 2, 1, 1))
+        bb = fp.bounding_box
+        assert (bb.x, bb.y, bb.w, bb.h) == (0, 0, 4, 3)
+
+    def test_empty_bounding_box_raises(self):
+        with pytest.raises(ValueError):
+            Floorplan().bounding_box
+
+    def test_total_area(self):
+        fp = Floorplan()
+        fp.add("a", Rect(0, 0, 1, 1))
+        fp.add("b", Rect(1, 0, 2, 1))
+        assert fp.total_area_mm2 == pytest.approx(3.0)
+
+
+class TestPresetFloorplan:
+    def test_three_tiles_have_all_blocks(self):
+        fp = build_floorplan(3)
+        for i in range(3):
+            for kind in ("core", "icache", "dcache", "pmem"):
+                assert f"{kind}{i}" in fp
+        assert "shared_mem" in fp
+
+    def test_no_overlaps_by_construction(self):
+        build_floorplan(4)   # would raise if any rect overlapped
+
+    def test_cores_abut_laterally(self):
+        """Neighbouring cores must share an edge so heat spreads — the
+        middle core's higher temperature depends on it."""
+        fp = build_floorplan(3)
+        adj = {(a, b): e for a, b, e in fp.adjacencies()}
+        assert ("core0", "core1") in adj
+        assert ("core1", "core2") in adj
+        assert ("core0", "core2") not in adj
+
+    def test_middle_core_has_more_core_neighbours(self):
+        fp = build_floorplan(3)
+        neighbours = {name: [] for name in fp.names}
+        for a, b, _e in fp.adjacencies():
+            neighbours[a].append(b)
+            neighbours[b].append(a)
+        core_neigh = [n for n in neighbours["core1"] if n.startswith("core")]
+        edge_neigh = [n for n in neighbours["core0"] if n.startswith("core")]
+        assert len(core_neigh) == 2
+        assert len(edge_neigh) == 1
+
+    def test_shared_mem_spans_all_tiles(self):
+        fp = build_floorplan(3)
+        shared = fp.rect("shared_mem")
+        assert shared.w == pytest.approx(fp.bounding_box.w)
+
+    def test_single_tile_floorplan(self):
+        fp = build_floorplan(1)
+        assert "core0" in fp and "shared_mem" in fp
+
+    def test_invalid_tile_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_floorplan(0)
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_block_count_formula(self, n):
+        fp = build_floorplan(n)
+        assert len(fp) == 4 * n + 1

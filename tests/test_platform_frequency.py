@@ -1,0 +1,116 @@
+"""Tests for operating points and DVFS tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.frequency import OperatingPoint, OperatingPointTable
+
+
+class TestOperatingPoint:
+    def test_mhz_conversion(self):
+        assert OperatingPoint(533e6, 1.2).mhz == pytest.approx(533.0)
+
+    def test_power_proxy_is_f_squared(self):
+        p = OperatingPoint(100e6, 1.0)
+        assert p.power_proxy() == pytest.approx(1e16)
+
+    def test_ordering_by_frequency(self):
+        lo = OperatingPoint(1e6, 0.8)
+        hi = OperatingPoint(2e6, 0.9)
+        assert lo < hi
+
+
+class TestClockDividedTable:
+    def test_paper_frequencies(self):
+        """533/2^k: the Table 2 points must be present."""
+        table = OperatingPointTable.clock_divided(533e6, 4)
+        mhz = [round(p.mhz) for p in table]
+        assert mhz == [67, 133, 266, 533]
+
+    def test_voltage_scales_linearly(self):
+        table = OperatingPointTable.clock_divided(533e6, 4, v_min=0.7,
+                                                  v_max=1.2)
+        assert table.max_point.voltage == pytest.approx(1.2)
+        half = table.points[2]
+        assert half.voltage == pytest.approx(0.7 + 0.5 * 0.5)
+
+    def test_single_level(self):
+        table = OperatingPointTable.clock_divided(100e6, 1)
+        assert len(table) == 1
+        assert table.min_point is table.max_point
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingPointTable.clock_divided(100e6, 0)
+
+
+class TestDemandSelection:
+    @pytest.fixture
+    def table(self):
+        return OperatingPointTable.clock_divided(533e6, 4)
+
+    def test_table2_core1_demand_picks_533(self, table):
+        """65% FSE at 533 MHz -> 346.45 MHz demand -> 533 MHz point."""
+        assert table.point_for_demand(0.65 * 533e6).mhz == pytest.approx(533)
+
+    def test_table2_core2_demand_picks_266(self, table):
+        """67.1% load at 266.5 MHz -> 178.8 MHz demand -> 266.5 point."""
+        opp = table.point_for_demand(0.671 * 266.5e6)
+        assert opp.mhz == pytest.approx(266.5)
+
+    def test_zero_demand_picks_minimum(self, table):
+        assert table.point_for_demand(0.0) is table.min_point
+
+    def test_overload_saturates_at_max(self, table):
+        assert table.point_for_demand(1e12) is table.max_point
+
+    def test_exact_boundary_is_covered(self, table):
+        opp = table.point_for_demand(533e6 / 2)
+        assert opp.frequency_hz == pytest.approx(533e6 / 2)
+
+    def test_negative_demand_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.point_for_demand(-1.0)
+
+    @given(st.floats(min_value=0, max_value=600e6, allow_nan=False))
+    def test_selected_point_always_covers_demand_or_is_max(self, demand):
+        table = OperatingPointTable.clock_divided(533e6, 4)
+        opp = table.point_for_demand(demand)
+        if demand <= table.f_max_hz:
+            assert opp.frequency_hz >= demand - 1e-3
+        else:
+            assert opp is table.max_point
+
+    @given(st.floats(min_value=0, max_value=533e6, allow_nan=False))
+    def test_selected_point_is_minimal(self, demand):
+        """No lower point would also cover the demand."""
+        table = OperatingPointTable.clock_divided(533e6, 4)
+        opp = table.point_for_demand(demand)
+        lower = [p for p in table.points
+                 if p.frequency_hz < opp.frequency_hz]
+        for p in lower:
+            assert p.frequency_hz < demand - 1e-6
+
+
+class TestTableConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingPointTable([])
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            OperatingPointTable([OperatingPoint(1e6, 0.8),
+                                 OperatingPoint(1e6, 0.9)])
+
+    def test_points_sorted_regardless_of_input_order(self):
+        table = OperatingPointTable([OperatingPoint(2e6, 0.9),
+                                     OperatingPoint(1e6, 0.8)])
+        freqs = [p.frequency_hz for p in table]
+        assert freqs == sorted(freqs)
+
+    def test_neighbors_clamped_at_ends(self):
+        table = OperatingPointTable.clock_divided(100e6, 3)
+        lo, hi = table.neighbors(table.min_point)
+        assert lo is table.min_point
+        lo, hi = table.neighbors(table.max_point)
+        assert hi is table.max_point

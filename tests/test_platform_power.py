@@ -1,0 +1,123 @@
+"""Tests for the component power models (Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.platform.power import PowerModel, PowerModelParams
+from repro.platform.presets import CONF1_STREAMING, CONF2_ARM11
+
+
+@pytest.fixture
+def model():
+    return PowerModel(PowerModelParams(p_dyn_ref=0.4, leak_ref=0.05,
+                                       idle_fraction=0.2))
+
+
+class TestDynamicPower:
+    def test_scales_linearly_with_frequency(self, model):
+        p1 = model.dynamic_power(250e6, 1.2, 1.0)
+        p2 = model.dynamic_power(500e6, 1.2, 1.0)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_scales_quadratically_with_voltage(self, model):
+        p1 = model.dynamic_power(500e6, 0.6, 1.0)
+        p2 = model.dynamic_power(500e6, 1.2, 1.0)
+        assert p2 == pytest.approx(4 * p1)
+
+    def test_reference_point(self, model):
+        assert model.dynamic_power(500e6, 1.2, 1.0) == pytest.approx(0.4)
+
+    def test_idle_floor(self, model):
+        idle = model.dynamic_power(500e6, 1.2, 0.0)
+        assert idle == pytest.approx(0.2 * 0.4)
+
+    def test_activity_blend_is_affine(self, model):
+        lo = model.dynamic_power(500e6, 1.2, 0.0)
+        hi = model.dynamic_power(500e6, 1.2, 1.0)
+        mid = model.dynamic_power(500e6, 1.2, 0.5)
+        assert mid == pytest.approx((lo + hi) / 2)
+
+    def test_activity_clamped(self, model):
+        assert model.dynamic_power(500e6, 1.2, 2.0) == \
+            model.dynamic_power(500e6, 1.2, 1.0)
+
+    def test_negative_frequency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.dynamic_power(-1.0, 1.2, 1.0)
+
+
+class TestLeakage:
+    def test_reference_leakage(self, model):
+        assert model.leakage_power(60.0) == pytest.approx(0.05)
+
+    def test_leakage_grows_with_temperature(self, model):
+        assert model.leakage_power(80.0) > model.leakage_power(60.0)
+
+    def test_exponential_slope(self, model):
+        import math
+        ratio = model.leakage_power(110.0) / model.leakage_power(60.0)
+        assert ratio == pytest.approx(math.exp(0.02 * 50))
+
+    @given(st.floats(min_value=-20, max_value=150, allow_nan=False))
+    def test_leakage_never_negative(self, temp):
+        m = PowerModel(PowerModelParams(p_dyn_ref=0.4, leak_ref=0.05))
+        assert m.leakage_power(temp) >= 0.0
+
+
+class TestGating:
+    def test_gated_power_is_residual_leakage_only(self, model):
+        gated = model.power(500e6, 1.2, 1.0, 60.0, gated=True)
+        assert gated == pytest.approx(0.05 * 0.05)
+
+    def test_gated_much_smaller_than_idle(self, model):
+        gated = model.power(500e6, 1.2, 0.0, 60.0, gated=True)
+        idle = model.power(500e6, 1.2, 0.0, 60.0, gated=False)
+        assert gated < 0.1 * idle
+
+
+class TestTable1Values:
+    def test_conf1_core_max_power_near_half_watt(self):
+        """Table 1: RISC32-streaming 0.5 W max @ 500 MHz."""
+        m = PowerModel(CONF1_STREAMING.core_power)
+        p = m.max_power(500e6, 1.2, temp_c=85.0)
+        assert 0.45 <= p <= 0.56
+
+    def test_conf2_core_max_power_near_270mw(self):
+        """Table 1: RISC32-ARM11 0.27 W max @ 500 MHz."""
+        m = PowerModel(CONF2_ARM11.core_power)
+        p = m.max_power(500e6, 1.2, temp_c=85.0)
+        assert 0.24 <= p <= 0.31
+
+    def test_dcache_max_power_near_43mw(self):
+        m = PowerModel(CONF1_STREAMING.dcache_power)
+        p = m.max_power(500e6, 1.2, temp_c=85.0)
+        assert 0.035 <= p <= 0.05
+
+    def test_icache_max_power_near_11mw(self):
+        m = PowerModel(CONF1_STREAMING.icache_power)
+        p = m.max_power(500e6, 1.2, temp_c=85.0)
+        assert 0.008 <= p <= 0.014
+
+    def test_memory_max_power_near_15mw(self):
+        m = PowerModel(CONF1_STREAMING.private_mem_power)
+        p = m.max_power(500e6, 1.2, temp_c=85.0)
+        assert 0.012 <= p <= 0.019
+
+    def test_conf2_uses_less_power_than_conf1(self):
+        m1 = PowerModel(CONF1_STREAMING.core_power)
+        m2 = PowerModel(CONF2_ARM11.core_power)
+        assert m2.max_power(500e6, 1.2) < m1.max_power(500e6, 1.2)
+
+
+class TestValidation:
+    def test_negative_p_dyn_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModelParams(p_dyn_ref=-0.1)
+
+    def test_bad_idle_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModelParams(p_dyn_ref=0.1, idle_fraction=1.5)
+
+    def test_zero_reference_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModelParams(p_dyn_ref=0.1, f_ref_hz=0.0)

@@ -1,0 +1,209 @@
+"""Tests for the paper's migration-based thermal balancing policy.
+
+Phase 1/2 logic is tested directly on a hand-built system (no thermal
+loop): we feed the policy synthetic temperature vectors and inspect the
+exchanges it chooses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.policies.migra import MigraThermalBalancer
+from repro.sim.kernel import Simulator
+
+F_MAX = 533e6
+
+
+def make_system(n_tiles=3):
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_tiles, CONF1_STREAMING, sim=sim)
+    return sim, chip, MPOS(sim, chip)
+
+
+def add_task(mpos, name, fse, core):
+    t = StreamTask(name, cycles_per_frame=fse * F_MAX * 0.04,
+                   frame_period_s=0.04)
+    qin, qout = MsgQueue(f"{name}.i", 4), MsgQueue(f"{name}.o", 4)
+    mpos.bind_queue(qin)
+    mpos.bind_queue(qout)
+    t.inputs, t.outputs = [qin], [qout]
+    mpos.map_task(t, core)
+    return t
+
+
+def table2_system():
+    sim, chip, mpos = make_system()
+    add_task(mpos, "BPF1", 0.367, 0)
+    add_task(mpos, "DEMOD", 0.283, 0)
+    add_task(mpos, "BPF2", 0.3045, 1)
+    add_task(mpos, "SUM", 0.031, 1)
+    add_task(mpos, "BPF3", 0.3045, 2)
+    add_task(mpos, "LPF", 0.094, 2)
+    return sim, chip, mpos
+
+
+@pytest.fixture
+def policy_system():
+    sim, chip, mpos = table2_system()
+    policy = MigraThermalBalancer(threshold_c=3.0)
+    policy.attach(mpos)
+    policy.enable(0.0)
+    return sim, chip, mpos, policy
+
+
+class TestPhase1CandidateFilter:
+    def test_hot_trigger_selects_demod_to_coldest(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        # Core 0 hot (+7), core 2 coldest (-5): the classic initial
+        # state.  DEMOD moving to core 2 equalizes best per Eq. 1.
+        temps = np.array([70.0, 61.0, 58.0])
+        option = policy.plan_exchange(0, temps)
+        assert option is not None
+        assert option.tasks_from_src == ("DEMOD",)
+        assert option.dst_core == 2
+        assert option.tasks_from_dst == ()
+
+    def test_condition1_requires_opposite_sides(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        # Everyone above the mean except the trigger core itself can't
+        # happen; craft temps where the only other cores sit on the
+        # same side as the mean -> no candidates.
+        temps = np.array([70.0, 66.0, 65.0])   # mean 67: cores 1,2 below
+        # make both below-mean cores *equal* to the source side by
+        # flipping: here src=1 (below mean but armed as cold trigger)
+        # has dst candidates only above the mean: core0.
+        option = policy.plan_exchange(1, temps)
+        # core0 above mean, frequencies: core0 at 533 (high) -> valid
+        # pair exists; DEMOD or BPF1 can flow to core1.
+        assert option is not None
+        assert option.src_core == 0
+        assert option.dst_core == 1
+
+    def test_condition2_blocks_inconsistent_pair(self, policy_system):
+        """A hot core at a *low* frequency (thermal lag) must not shed:
+        temperature ordering contradicts power ordering."""
+        sim, chip, mpos, policy = policy_system
+        # Make core 2 the high-frequency one by moving DEMOD there.
+        demod = mpos.task("DEMOD")
+        mpos.schedulers[0].freeze_now(demod) or None
+        # Manually re-home (bypassing the engine for the unit test).
+        demod.migration_target = None
+        mpos.move_task(demod, 2)
+        assert chip.tile(2).frequency_hz == pytest.approx(F_MAX)
+        # Core 0 still hot (thermal lag), but now runs at 266 MHz.
+        temps = np.array([70.0, 60.0, 62.0])
+        option = policy.plan_exchange(0, temps)
+        assert option is None
+
+    def test_no_plan_when_all_inside_one_side(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        temps = np.array([60.0, 60.0, 60.0])
+        assert policy.plan_exchange(0, temps) is None
+
+
+class TestPhase2Selection:
+    def test_moved_task_drops_hot_core_opp(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        temps = np.array([70.0, 61.0, 58.0])
+        option = policy.plan_exchange(0, temps)
+        # Shedding DEMOD: core0 demand 346 -> 196 MHz: 533 -> 266.5.
+        assert option.tasks_from_src == ("DEMOD",)
+
+    def test_small_task_moves_rejected_as_useless(self, policy_system):
+        """Moving only SUM (3% FSE) would not drop any OPP; the policy
+        must never choose it."""
+        sim, chip, mpos, policy = policy_system
+        for temps in ([70.0, 61.0, 58.0], [64.0, 70.0, 58.0],
+                      [58.0, 70.0, 64.0]):
+            option = policy.plan_exchange(int(np.argmax(temps)),
+                                          np.array(temps))
+            if option is not None:
+                assert "SUM" not in option.tasks_from_src
+                assert "SUM" not in option.tasks_from_dst
+
+    def test_cost_prefers_colder_target(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        # Both cores 1 and 2 are valid targets; 2 is colder -> bigger
+        # Eq. 1 denominator -> lower cost.
+        temps = np.array([70.0, 60.0, 56.0])
+        option = policy.plan_exchange(0, temps)
+        assert option.dst_core == 2
+
+    def test_cold_trigger_pulls_from_hot(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        temps = np.array([70.0, 62.0, 56.0])
+        option = policy.plan_exchange(2, temps)   # cold core triggers
+        assert option is not None
+        assert option.src_core == 0               # hot side
+        assert option.dst_core == 2
+
+    def test_option_exposes_cost_and_bytes(self, policy_system):
+        sim, chip, mpos, policy = policy_system
+        option = policy.plan_exchange(0, np.array([70.0, 61.0, 58.0]))
+        assert option.bytes_moved >= 64 * 1024
+        assert option.cost > 0
+        assert option.n_tasks == 1
+
+
+class TestClosedLoop:
+    def test_full_run_balances_temperatures(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+        cfg = ExperimentConfig(policy="migra", threshold_c=3.0,
+                               warmup_s=8.0, measure_s=10.0)
+        result = run_experiment(cfg)
+        # Policy must clearly beat the static gradient (>= 10 C spread).
+        assert result.report.mean_spread_c < 6.0
+        assert result.report.migrations > 0
+        assert result.report.deadline_misses == 0
+
+    def test_edge_triggering_disarms_until_reentry(self):
+        sim, chip, mpos = table2_system()
+        policy = MigraThermalBalancer(threshold_c=3.0, eval_period_s=0.0)
+        policy.attach(mpos)
+        policy.enable(0.0)
+        temps = np.array([70.0, 61.0, 58.0])
+        policy.step(0.0, temps)
+        assert policy.plans_issued == 1
+        # Same temps again: core 0 disarmed, engine busy anyway; drain
+        # the engine first.
+        sim.run_until(1.0)
+        assert not mpos.engine.busy
+        policy.step(1.0, temps)
+        assert policy.plans_issued == 1   # still disarmed
+        # Re-enter the band, then deviate again -> re-armed.  After the
+        # first exchange DEMOD lives on core 2 (now the 533 MHz core),
+        # so the next consistent hot trigger comes from core 2.
+        mean = temps.mean()
+        policy.step(1.1, np.array([mean, mean, mean]))
+        policy.step(1.2, np.array([58.0, 61.0, 70.0]))
+        assert policy.plans_issued == 2
+
+    def test_eval_period_throttles_decisions(self):
+        sim, chip, mpos = table2_system()
+        policy = MigraThermalBalancer(threshold_c=3.0, eval_period_s=0.1)
+        policy.attach(mpos)
+        policy.enable(0.0)
+        hot = np.array([70.0, 61.0, 58.0])
+        policy.step(0.00, hot)
+        sim.run_until(0.05)               # engine drains
+        policy.step(0.05, hot)            # within eval period: ignored
+        assert policy.plans_issued == 1
+
+    def test_disabled_policy_does_nothing(self):
+        sim, chip, mpos = table2_system()
+        policy = MigraThermalBalancer(threshold_c=3.0)
+        policy.attach(mpos)
+        policy.on_temperature_update(0.0, np.array([70.0, 61.0, 58.0]))
+        assert policy.plans_issued == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MigraThermalBalancer(threshold_c=0.0)
+        with pytest.raises(ValueError):
+            MigraThermalBalancer(top_k=0)
+        with pytest.raises(ValueError):
+            MigraThermalBalancer(eval_period_s=-1.0)

@@ -1,0 +1,122 @@
+"""Property-based tests of the balancing policy's planning invariants.
+
+For arbitrary temperature vectors and task distributions, any exchange
+the policy proposes must satisfy the paper's three conditions and the
+implementation's own guarantees — these are the safety properties that
+keep the closed loop stable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.policies.migra import MigraThermalBalancer
+from repro.sim.kernel import Simulator
+
+F_MAX = 533e6
+PROP_SETTINGS = dict(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_policy_system(loads_by_core):
+    """A 3-core system with the given FSE loads mapped per core."""
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, 3, CONF1_STREAMING, sim=sim)
+    mpos = MPOS(sim, chip)
+    n = 0
+    for core, loads in enumerate(loads_by_core):
+        for load in loads:
+            task = StreamTask(f"t{n}", cycles_per_frame=load * F_MAX * 0.04,
+                              frame_period_s=0.04)
+            qin, qout = MsgQueue(f"i{n}", 4), MsgQueue(f"o{n}", 4)
+            mpos.bind_queue(qin)
+            mpos.bind_queue(qout)
+            task.inputs, task.outputs = [qin], [qout]
+            mpos.map_task(task, core)
+            n += 1
+    policy = MigraThermalBalancer(threshold_c=2.0, eval_period_s=0.0)
+    policy.attach(mpos)
+    policy.enable(0.0)
+    return mpos, policy
+
+
+@st.composite
+def system_and_temps(draw):
+    loads_by_core = []
+    for _core in range(3):
+        k = draw(st.integers(0, 3))
+        loads_by_core.append(
+            [draw(st.floats(0.03, 0.45)) for _ in range(k)])
+    temps = np.array([draw(st.floats(45.0, 90.0)) for _ in range(3)])
+    return loads_by_core, temps
+
+
+class TestPlanInvariants:
+    @settings(**PROP_SETTINGS)
+    @given(system_and_temps())
+    def test_any_proposed_exchange_satisfies_the_conditions(self, case):
+        loads_by_core, temps = case
+        mpos, policy = build_policy_system(loads_by_core)
+        mean = float(temps.mean())
+        freqs = mpos.governor.frequencies_hz()
+        f_mean = float(np.mean(freqs))
+
+        for src in range(3):
+            option = policy.plan_exchange(src, temps)
+            if option is None:
+                continue
+            hot, cold = option.src_core, option.dst_core
+            # Condition 1: opposite thermal sides (hot above, cold below).
+            assert temps[hot] > mean
+            assert temps[cold] < mean
+            # Condition 2 (consistency): power ordering matches.
+            assert freqs[hot] > f_mean
+            assert freqs[cold] < f_mean
+            # Direction: net demand flows hot -> cold.
+            demand = {t.name: t.demand_hz for t in mpos.tasks}
+            net = (sum(demand[n] for n in option.tasks_from_src)
+                   - sum(demand[n] for n in option.tasks_from_dst))
+            assert net > 0
+            # Condition 3: the pair's f^2 proxy does not grow.
+            table = mpos.chip.tile(hot).opp_table
+            d_hot = mpos.core_demand_hz(hot)
+            d_cold = mpos.core_demand_hz(cold)
+            before = (table.point_for_demand(d_hot).power_proxy()
+                      + table.point_for_demand(d_cold).power_proxy())
+            after = (table.point_for_demand(d_hot - net).power_proxy()
+                     + table.point_for_demand(d_cold + net).power_proxy())
+            assert after <= before * (1 + 1e-9)
+            # Effectiveness: the hot core's OPP strictly drops.
+            assert (table.point_for_demand(d_hot - net).frequency_hz
+                    < table.point_for_demand(d_hot).frequency_hz)
+            # Feasibility: the cold core is not overloaded.
+            assert d_cold + net <= table.f_max_hz
+            # Cost bookkeeping.
+            assert option.bytes_moved >= 64 * 1024 * option.n_tasks
+            denom = (temps[cold if src == hot else hot] - mean) ** 2
+            assert option.cost == pytest.approx(option.bytes_moved / denom)
+
+    @settings(**PROP_SETTINGS)
+    @given(system_and_temps())
+    def test_no_plan_when_all_temps_equal(self, case):
+        loads_by_core, _temps = case
+        mpos, policy = build_policy_system(loads_by_core)
+        equal = np.array([60.0, 60.0, 60.0])
+        for src in range(3):
+            assert policy.plan_exchange(src, equal) is None
+
+    @settings(**PROP_SETTINGS)
+    @given(system_and_temps())
+    def test_step_never_crashes_and_respects_lock(self, case):
+        """Feeding arbitrary temperatures into the closed-loop entry
+        point must never raise, and at most one plan can be in flight."""
+        loads_by_core, temps = case
+        mpos, policy = build_policy_system(loads_by_core)
+        policy.step(0.0, temps)
+        policy.step(0.01, temps[::-1].copy())
+        policy.step(0.02, np.full(3, temps.mean()))
+        assert policy.plans_issued <= 1 or not mpos.engine.busy

@@ -1,0 +1,203 @@
+"""Property-based and failure-injection tests of the full OS stack.
+
+Hypothesis drives randomized pipelines, mappings, migration storms and
+gating storms through the scheduler/queue/migration machinery; the
+assertions are conservation laws and state-machine invariants that must
+hold for *any* input.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpos.migration import MigrationPlan
+from repro.mpos.queues import MsgQueue
+from repro.mpos.system import MPOS
+from repro.mpos.task import StreamTask, TaskState
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicProcess
+
+F_MAX = 533e6
+PROP_SETTINGS = dict(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_pipeline(loads, mapping, n_cores, capacity=8,
+                   frame_period=0.04):
+    """A linear pipeline with the given FSE loads and mapping."""
+    sim = Simulator()
+    chip = build_chip(lambda: sim.now, n_cores, CONF1_STREAMING, sim=sim)
+    mpos = MPOS(sim, chip)
+    queues = [MsgQueue(f"q{i}", capacity) for i in range(len(loads) + 1)]
+    for q in queues:
+        mpos.bind_queue(q)
+    tasks = []
+    for i, load in enumerate(loads):
+        task = StreamTask(f"t{i}",
+                          cycles_per_frame=load * F_MAX * frame_period,
+                          frame_period_s=frame_period)
+        task.inputs = [queues[i]]
+        task.outputs = [queues[i + 1]]
+        tasks.append(task)
+    for task, core in zip(tasks, mapping):
+        mpos.map_task(task, core)
+    return sim, chip, mpos, tasks, queues
+
+
+def drive_source(sim, queue, period=0.04):
+    return PeriodicProcess(sim, period, lambda p: queue.push(p.ticks))
+
+
+def drive_sink(sim, queue, period=0.04):
+    """Drain the pipeline's final queue like a playback sink would."""
+    return PeriodicProcess(sim, period, lambda p: queue.pop())
+
+
+class TestRandomPipelines:
+    @settings(**PROP_SETTINGS)
+    @given(st.data())
+    def test_any_feasible_pipeline_flows_and_conserves(self, data):
+        n_tasks = data.draw(st.integers(1, 5), label="n_tasks")
+        n_cores = data.draw(st.integers(2, 3), label="n_cores")
+        loads = [data.draw(st.floats(0.02, 0.35), label=f"load{i}")
+                 for i in range(n_tasks)]
+        mapping = [data.draw(st.integers(0, n_cores - 1), label=f"map{i}")
+                   for i in range(n_tasks)]
+        # Keep each core feasible so the pipeline can sustain the rate.
+        for core in range(n_cores):
+            demand = sum(l for l, m in zip(loads, mapping) if m == core)
+            if demand > 0.9:
+                return  # discard infeasible draw
+
+        sim, chip, mpos, tasks, queues = build_pipeline(
+            loads, mapping, n_cores)
+        drive_source(sim, queues[0])
+        drive_sink(sim, queues[-1])
+        sim.run_until(3.0)
+
+        # Conservation on every queue.
+        for q in queues:
+            assert q.total_pushed == q.total_popped + q.level
+        # Monotone progress along the chain.
+        done = [t.frames_done for t in tasks]
+        for up, down in zip(done, done[1:]):
+            assert down <= up
+        # The pipeline actually flows (~75 frames in 3 s).
+        assert tasks[-1].frames_done >= 50
+        # Cycle accounting is exact.
+        for t in tasks:
+            assert t.total_cycles == pytest.approx(
+                t.frames_done * t.cycles_per_frame
+                + (t.cycles_per_frame - t.remaining_cycles
+                   if t.state is TaskState.RUNNING or
+                   t.remaining_cycles > 0 else 0.0),
+                rel=1e-6)
+
+    @settings(**PROP_SETTINGS)
+    @given(st.integers(2, 6), st.integers(1, 4))
+    def test_overloaded_core_drops_at_source_not_crashes(self, n_tasks,
+                                                         capacity):
+        """Deliberate overload: all tasks on one core, total demand
+        beyond f_max.  The pipeline must backpressure to the source and
+        count drops; nothing may deadlock or crash."""
+        loads = [0.5] * n_tasks                 # n x 50% on one core
+        sim, chip, mpos, tasks, queues = build_pipeline(
+            loads, [0] * n_tasks, 2, capacity=capacity)
+        drops = [0]
+
+        def push(p):
+            if not queues[0].push(p.ticks):
+                drops[0] += 1
+
+        PeriodicProcess(sim, 0.04, push)
+        drive_sink(sim, queues[-1])
+        sim.run_until(3.0)
+        if n_tasks >= 3:
+            assert drops[0] > 0                 # overload surfaced
+        assert tasks[-1].frames_done > 0        # still making progress
+        for q in queues:
+            assert q.total_pushed == q.total_popped + q.level
+
+
+class TestMigrationStorm:
+    @settings(**PROP_SETTINGS)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 2)),
+                    min_size=1, max_size=12))
+    def test_random_migration_sequences_preserve_state(self, moves):
+        """Execute a random serial sequence of migrations; mapping,
+        conservation and cycle accounting must survive."""
+        loads = [0.2, 0.15, 0.25, 0.1]
+        sim, chip, mpos, tasks, queues = build_pipeline(
+            loads, [0, 1, 2, 0], 3)
+        drive_source(sim, queues[0])
+        drive_sink(sim, queues[-1])
+        sim.run_until(0.5)
+
+        for task_idx, dst in moves:
+            task = tasks[task_idx]
+            if mpos.engine.busy or mpos.core_of(task) == dst:
+                sim.run_until(sim.now + 0.2)
+                continue
+            mpos.engine.request_plan(MigrationPlan(moves=[(task, dst)]))
+            sim.run_until(sim.now + 0.3)
+
+        sim.run_until(sim.now + 1.0)
+        # Every record is consistent and every task landed somewhere.
+        for task in tasks:
+            core = mpos.core_of(task)
+            assert 0 <= core < 3
+            assert task.core_index == core
+            assert task in mpos.tasks_on_core(core)
+        for record in mpos.engine.records:
+            assert record.freeze_duration_s >= 0
+            assert record.src_core != record.dst_core
+        for q in queues:
+            assert q.total_pushed == q.total_popped + q.level
+        # Pipeline still alive after the storm.
+        before = tasks[-1].frames_done
+        sim.run_until(sim.now + 1.0)
+        assert tasks[-1].frames_done > before
+
+
+class TestGatingStorm:
+    @settings(**PROP_SETTINGS)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.booleans()),
+                    min_size=1, max_size=20))
+    def test_random_gating_preserves_accounting(self, events):
+        loads = [0.3, 0.3]
+        sim, chip, mpos, tasks, queues = build_pipeline(loads, [0, 1], 2)
+        drive_source(sim, queues[0])
+        drive_sink(sim, queues[-1])
+        for core, gate in events:
+            if gate:
+                mpos.gate_core(core)
+            else:
+                mpos.ungate_core(core)
+            sim.run_until(sim.now + 0.1)
+        for core in (0, 1):
+            mpos.ungate_core(core)
+        sim.run_until(sim.now + 2.0)
+        # After ungating everything the pipeline runs again and the
+        # books balance.
+        assert tasks[-1].frames_done > 0
+        for q in queues:
+            assert q.total_pushed == q.total_popped + q.level
+        for t in tasks:
+            assert t.total_cycles <= (t.frames_done + 1) * \
+                t.cycles_per_frame + 1.0
+
+    def test_gating_source_core_backpressures_cleanly(self):
+        loads = [0.3, 0.3]
+        sim, chip, mpos, tasks, queues = build_pipeline(loads, [0, 1], 2,
+                                                        capacity=4)
+        drive_source(sim, queues[0])
+        drive_sink(sim, queues[-1])
+        sim.run_until(1.0)
+        mpos.gate_core(0)
+        sim.run_until(2.0)
+        # Input queue filled up; downstream drained.
+        assert queues[0].is_full
+        assert queues[1].is_empty
+        mpos.ungate_core(0)
+        sim.run_until(4.0)
+        assert not queues[0].is_full   # backlog draining again

@@ -1,0 +1,115 @@
+"""Tests for FIR design and streaming filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sdr.filters import FIRFilter, design_bandpass, design_lowpass
+
+
+class TestLowpassDesign:
+    def test_unity_dc_gain(self):
+        taps = design_lowpass(1000.0, 48000.0)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_passband_gain_near_one(self):
+        fs = 48000.0
+        taps = design_lowpass(4000.0, fs, n_taps=101)
+        f = FIRFilter(taps)
+        resp = np.abs(f.frequency_response(np.array([500.0, 1000.0]), fs))
+        assert np.all(resp > 0.95)
+
+    def test_stopband_attenuated(self):
+        fs = 48000.0
+        taps = design_lowpass(2000.0, fs, n_taps=101)
+        f = FIRFilter(taps)
+        resp = np.abs(f.frequency_response(np.array([10000.0, 20000.0]), fs))
+        assert np.all(resp < 0.02)
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            design_lowpass(30000.0, 48000.0)   # above Nyquist
+        with pytest.raises(ValueError):
+            design_lowpass(0.0, 48000.0)
+
+    def test_even_taps_rejected(self):
+        with pytest.raises(ValueError):
+            design_lowpass(1000.0, 48000.0, n_taps=64)
+
+
+class TestBandpassDesign:
+    def test_centre_gain_near_one(self):
+        fs = 48000.0
+        taps = design_bandpass(2000.0, 6000.0, fs, n_taps=101)
+        f = FIRFilter(taps)
+        resp = np.abs(f.frequency_response(np.array([4000.0]), fs))
+        assert resp[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_out_of_band(self):
+        fs = 48000.0
+        taps = design_bandpass(2000.0, 6000.0, fs, n_taps=151)
+        f = FIRFilter(taps)
+        resp = np.abs(f.frequency_response(np.array([100.0, 15000.0]), fs))
+        assert np.all(resp < 0.05)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            design_bandpass(6000.0, 2000.0, 48000.0)
+        with pytest.raises(ValueError):
+            design_bandpass(2000.0, 30000.0, 48000.0)
+
+
+class TestStreamingFilter:
+    def test_streaming_equals_batch(self):
+        """Frame-by-frame filtering must match one-shot filtering."""
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(1000)
+        taps = design_lowpass(4000.0, 48000.0, n_taps=63)
+
+        batch = FIRFilter(taps).process(signal)
+        streaming = FIRFilter(taps)
+        chunks = [streaming.process(signal[i:i + 128])
+                  for i in range(0, 1000, 128)]
+        assert np.allclose(np.concatenate(chunks), batch, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=90),
+                    min_size=1, max_size=8))
+    def test_streaming_equals_batch_any_framing(self, sizes):
+        """Property: arbitrary frame sizes (even below the tap count)
+        cannot change the output."""
+        rng = np.random.default_rng(1)
+        total = sum(sizes)
+        signal = rng.standard_normal(total)
+        taps = design_lowpass(4000.0, 48000.0, n_taps=31)
+        batch = FIRFilter(taps).process(signal)
+        f = FIRFilter(taps)
+        out = []
+        pos = 0
+        for n in sizes:
+            out.append(f.process(signal[pos:pos + n]))
+            pos += n
+        assert np.allclose(np.concatenate(out), batch, atol=1e-12)
+
+    def test_reset_clears_history(self):
+        taps = design_lowpass(4000.0, 48000.0, n_taps=31)
+        f = FIRFilter(taps)
+        x = np.ones(50)
+        first = f.process(x)
+        f.reset()
+        second = f.process(x)
+        assert np.allclose(first, second)
+
+    def test_impulse_response_is_taps(self):
+        taps = design_lowpass(4000.0, 48000.0, n_taps=31)
+        f = FIRFilter(taps)
+        impulse = np.zeros(31)
+        impulse[0] = 1.0
+        assert np.allclose(f.process(impulse), taps, atol=1e-15)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FIRFilter(np.zeros((2, 2)))
+        f = FIRFilter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            f.process(np.zeros((2, 2)))

@@ -1,0 +1,117 @@
+"""Tests for periodic processes and timers."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 0.5, lambda p: times.append(sim.now))
+        sim.run_until(2.0)
+        assert times == [0.5, 1.0, 1.5, 2.0]
+
+    def test_start_delay_overrides_first_tick(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 1.0, lambda p: times.append(sim.now),
+                        start_delay=0.25)
+        sim.run_until(2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_zero_start_delay_ticks_immediately(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 1.0, lambda p: times.append(sim.now),
+                        start_delay=0.0)
+        sim.run_until(1.0)
+        assert times == [0.0, 1.0]
+
+    def test_stop_halts_recurrence(self):
+        sim = Simulator()
+        times = []
+        proc = PeriodicProcess(sim, 0.5, lambda p: times.append(sim.now))
+        sim.run_until(1.0)
+        proc.stop()
+        sim.run_until(3.0)
+        assert times == [0.5, 1.0]
+        assert not proc.running
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+
+        def cb(proc):
+            if proc.ticks == 3:
+                proc.stop()
+
+        proc = PeriodicProcess(sim, 1.0, cb)
+        sim.run_until(10.0)
+        assert proc.ticks == 3
+
+    def test_tick_counter(self):
+        sim = Simulator()
+        proc = PeriodicProcess(sim, 0.1, lambda p: None)
+        sim.run_until(1.05)
+        assert proc.ticks == 10
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Simulator(), 0.0, lambda p: None)
+
+    def test_callback_receives_process(self):
+        sim = Simulator()
+        seen = []
+        proc = PeriodicProcess(sim, 1.0, lambda p: seen.append(p))
+        sim.run_until(1.0)
+        assert seen == [proc]
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_rearm_postpones(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(2.0)
+        sim.run_until(1.0)
+        timer.arm(2.0)  # now fires at 3.0
+        sim.run()
+        assert fired == [3.0]
+
+    def test_disarm_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.arm(1.0)
+        timer.disarm()
+        sim.run()
+        assert fired == []
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.arm(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_reusable_after_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(1.0)
+        sim.run()
+        timer.arm(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]

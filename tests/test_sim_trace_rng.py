@@ -1,0 +1,98 @@
+"""Tests for trace recording and seeded randomness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SimRandom
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_read_back(self):
+        tr = TraceRecorder()
+        tr.record("x", 1.0, 10.0)
+        tr.record("x", 2.0, 20.0)
+        assert tr.series("x") == [(1.0, 10.0), (2.0, 20.0)]
+        assert tr.times("x") == [1.0, 2.0]
+        assert tr.values("x") == [10.0, 20.0]
+
+    def test_missing_series_is_empty(self):
+        assert TraceRecorder().series("nope") == []
+
+    def test_disabled_recorder_drops_samples(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record("x", 1.0, 1.0)
+        assert tr.series("x") == []
+
+    def test_last_sample(self):
+        tr = TraceRecorder()
+        tr.record("x", 1.0, 5.0)
+        tr.record("x", 2.0, 6.0)
+        assert tr.last("x") == (2.0, 6.0)
+
+    def test_last_raises_on_empty(self):
+        with pytest.raises(KeyError):
+            TraceRecorder().last("x")
+
+    def test_window_is_inclusive(self):
+        tr = TraceRecorder()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            tr.record("x", t, t)
+        assert tr.window("x", 1.0, 2.0) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_keys_and_contains(self):
+        tr = TraceRecorder()
+        tr.record("a", 0.0, 0.0)
+        assert "a" in tr
+        assert "b" not in tr
+        assert list(tr.keys()) == ["a"]
+        assert len(tr) == 1
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record("a", 0.0, 0.0)
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestSimRandom:
+    def test_same_seed_same_sequence(self):
+        a, b = SimRandom(42), SimRandom(42)
+        assert [a.uniform(0, 1) for _ in range(10)] == \
+            [b.uniform(0, 1) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a, b = SimRandom(1), SimRandom(2)
+        assert [a.uniform(0, 1) for _ in range(10)] != \
+            [b.uniform(0, 1) for _ in range(10)]
+
+    def test_fork_streams_are_independent(self):
+        base = SimRandom(7)
+        s1 = base.fork(1)
+        s2 = base.fork(2)
+        assert [s1.uniform(0, 1) for _ in range(5)] != \
+            [s2.uniform(0, 1) for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        assert SimRandom(7).fork(3).uniform(0, 1) == \
+            SimRandom(7).fork(3).uniform(0, 1)
+
+    def test_shuffled_preserves_input(self):
+        rng = SimRandom(0)
+        items = [1, 2, 3, 4, 5]
+        out = rng.shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_randint_within_bounds(self, seed):
+        rng = SimRandom(seed)
+        for _ in range(20):
+            v = rng.randint(3, 9)
+            assert 3 <= v <= 9
+
+    def test_choice_from_sequence(self):
+        rng = SimRandom(0)
+        items = ["a", "b", "c"]
+        for _ in range(10):
+            assert rng.choice(items) in items

@@ -1,0 +1,129 @@
+"""Tests for the streaming graph specification."""
+
+import pytest
+
+from repro.streaming.graph import SINK, SOURCE, EdgeSpec, StreamGraph, TaskSpec
+from repro.streaming.sdr_app import SDR_TABLE2_LOADS, build_sdr_graph
+
+
+class TestTaskSpec:
+    def test_cycles_from_load(self):
+        spec = TaskSpec("t", load_pct=50.0, at_freq_hz=200e6)
+        assert spec.resolve_cycles(0.04) == pytest.approx(4e6)
+
+    def test_direct_cycles_take_precedence(self):
+        spec = TaskSpec("t", cycles_per_frame=123.0)
+        assert spec.resolve_cycles(0.04) == 123.0
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t").resolve_cycles(0.04)
+        with pytest.raises(ValueError):
+            TaskSpec("t", load_pct=10.0).resolve_cycles(0.04)
+
+
+class TestGraphValidation:
+    def _linear(self):
+        g = StreamGraph()
+        g.add_task(TaskSpec("a", cycles_per_frame=1e6))
+        g.add_task(TaskSpec("b", cycles_per_frame=1e6))
+        g.connect(SOURCE, "a").connect("a", "b").connect("b", SINK)
+        return g
+
+    def test_valid_linear_graph(self):
+        self._linear().validate()
+
+    def test_duplicate_task_rejected(self):
+        g = StreamGraph()
+        g.add_task(TaskSpec("a", cycles_per_frame=1.0))
+        with pytest.raises(ValueError):
+            g.add_task(TaskSpec("a", cycles_per_frame=1.0))
+
+    def test_reserved_names_rejected(self):
+        with pytest.raises(ValueError):
+            StreamGraph().add_task(TaskSpec(SOURCE, cycles_per_frame=1.0))
+
+    def test_unknown_endpoint_rejected(self):
+        g = self._linear()
+        g.connect("a", "ghost")
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_missing_source_rejected(self):
+        g = StreamGraph()
+        g.add_task(TaskSpec("a", cycles_per_frame=1.0))
+        g.connect("a", SINK)
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_missing_sink_rejected(self):
+        g = StreamGraph()
+        g.add_task(TaskSpec("a", cycles_per_frame=1.0))
+        g.connect(SOURCE, "a")
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_orphan_task_rejected(self):
+        g = self._linear()
+        g.add_task(TaskSpec("orphan", cycles_per_frame=1.0))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_cycle_rejected(self):
+        g = StreamGraph()
+        for name in ("a", "b"):
+            g.add_task(TaskSpec(name, cycles_per_frame=1.0))
+        g.connect(SOURCE, "a").connect("a", "b").connect("b", "a")
+        g.connect("b", SINK)
+        with pytest.raises(ValueError, match="cycle"):
+            g.validate()
+
+    def test_wrong_sentinel_direction_rejected(self):
+        g = self._linear()
+        g.connect("a", SOURCE)
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_edge_name(self):
+        e = EdgeSpec(SOURCE, "lpf")
+        assert e.name == "source->lpf"
+        assert EdgeSpec("sum", SINK).name == "sum->sink"
+
+    def test_inputs_outputs_queries(self):
+        g = self._linear()
+        assert [e.name for e in g.inputs_of("b")] == ["a->b"]
+        assert [e.name for e in g.outputs_of("a")] == ["a->b"]
+        assert len(g.source_edges()) == 1
+        assert len(g.sink_edges()) == 1
+
+
+class TestSDRGraph:
+    def test_structure_matches_fig6(self):
+        g = build_sdr_graph()
+        g.validate()
+        names = {s.name for s in g.task_specs}
+        assert names == {"LPF", "DEMOD", "BPF1", "BPF2", "BPF3", "SUM"}
+        assert len(g.inputs_of("SUM")) == 3
+        assert len(g.outputs_of("DEMOD")) == 3
+
+    def test_band_count_configurable(self):
+        g = build_sdr_graph(n_bands=5)
+        g.validate()
+        assert len(g.inputs_of("SUM")) == 5
+
+    def test_invalid_band_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_sdr_graph(0)
+
+    def test_total_fse_load_matches_table2(self):
+        """Sum of FSE loads: 36.7 + 28.3 (at 533) plus the 266 MHz rows
+        halved: (60.9 + 6.2 + 60.9 + 18.8) / 2 = 138.4% of one core."""
+        g = build_sdr_graph()
+        total = g.total_fse_load(533e6, 0.04)
+        expected = (0.367 + 0.283
+                    + (0.609 + 0.062 + 0.609 + 0.188) / 2)
+        assert total == pytest.approx(expected, rel=1e-3)
+
+    def test_loads_encode_table2(self):
+        assert SDR_TABLE2_LOADS["BPF2"][0] == 60.9
+        assert SDR_TABLE2_LOADS["DEMOD"][1] == pytest.approx(533e6)

@@ -1,0 +1,114 @@
+"""Tests for the thermal integrators (exact vs Euler cross-validation)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.presets import build_floorplan
+from repro.thermal.integrator import (
+    EulerIntegrator,
+    ExactIntegrator,
+    integrator_agreement,
+)
+from repro.thermal.package import HIGH_PERFORMANCE, MOBILE_EMBEDDED
+from repro.thermal.rc_network import build_network
+
+
+@pytest.fixture
+def network():
+    fp = build_floorplan(3)
+    return build_network(fp, list(fp.names), MOBILE_EMBEDDED, ambient_c=35.0)
+
+
+@pytest.fixture
+def power(network):
+    p = np.zeros(network.n_blocks)
+    p[network.index("core0")] = 0.4
+    p[network.index("core1")] = 0.15
+    p[network.index("core2")] = 0.15
+    return p
+
+
+class TestExactIntegrator:
+    def test_converges_to_steady_state(self, network, power):
+        integ = ExactIntegrator(network)
+        temps = network.initial_temperatures()
+        for _ in range(6000):
+            temps = integ.advance(temps, power, 0.01)
+        assert np.allclose(temps, network.steady_state(power), atol=5e-3)
+
+    def test_steady_state_is_fixed_point(self, network, power):
+        integ = ExactIntegrator(network)
+        ss = network.steady_state(power)
+        after = integ.advance(ss, power, 0.5)
+        assert np.allclose(after, ss, atol=1e-9)
+
+    def test_two_half_steps_equal_one_full_step(self, network, power):
+        """Exactness: the propagator composes over subintervals."""
+        integ = ExactIntegrator(network)
+        t0 = network.initial_temperatures()
+        one = integ.advance(t0, power, 0.02)
+        two = integ.advance(integ.advance(t0, power, 0.01), power, 0.01)
+        assert np.allclose(one, two, atol=1e-9)
+
+    def test_monotone_heating_from_cold(self, network, power):
+        integ = ExactIntegrator(network)
+        temps = network.initial_temperatures()
+        core = network.index("core0")
+        last = temps[core]
+        for _ in range(50):
+            temps = integ.advance(temps, power, 0.05)
+            assert temps[core] >= last - 1e-9
+            last = temps[core]
+
+    def test_invalid_dt_rejected(self, network, power):
+        with pytest.raises(ValueError):
+            ExactIntegrator(network).advance(
+                network.initial_temperatures(), power, 0.0)
+
+    def test_propagator_cache_reused(self, network, power):
+        integ = ExactIntegrator(network)
+        t = network.initial_temperatures()
+        integ.advance(t, power, 0.01)
+        integ.advance(t, power, 0.01)
+        assert len(integ._propagators) == 1
+        integ.advance(t, power, 0.02)
+        assert len(integ._propagators) == 2
+
+    def test_steady_state_solver_matches_network(self, network, power):
+        integ = ExactIntegrator(network)
+        assert np.allclose(integ.steady_state(power),
+                           network.steady_state(power), atol=1e-9)
+
+
+class TestEulerIntegrator:
+    def test_matches_exact_on_mobile(self, network, power):
+        worst, _ = integrator_agreement(network, power, duration=3.0,
+                                        dt=0.01)
+        assert worst < 0.05   # degrees
+
+    def test_matches_exact_on_highperf(self, power):
+        fp = build_floorplan(3)
+        net = build_network(fp, list(fp.names), HIGH_PERFORMANCE,
+                            ambient_c=35.0)
+        worst, _ = integrator_agreement(net, power, duration=1.0, dt=0.01)
+        assert worst < 0.1
+
+    def test_substep_respects_stability_bound(self, network):
+        integ = EulerIntegrator(network, safety=0.2)
+        assert integ.max_substep <= 0.2 * network.min_time_constant()
+
+    def test_invalid_safety_rejected(self, network):
+        with pytest.raises(ValueError):
+            EulerIntegrator(network, safety=0.0)
+
+    def test_invalid_dt_rejected(self, network, power):
+        with pytest.raises(ValueError):
+            EulerIntegrator(network).advance(
+                network.initial_temperatures(), power, -1.0)
+
+    def test_converges_to_steady_state(self, network, power):
+        integ = EulerIntegrator(network)
+        temps = network.initial_temperatures()
+        for _ in range(100):
+            temps = integ.advance(temps, power, 0.5)
+        assert np.allclose(temps, network.steady_state(power), atol=1e-2)

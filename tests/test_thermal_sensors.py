@@ -1,0 +1,145 @@
+"""Tests for the thermal sensor subsystem and calibration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.platform.presets import CONF1_STREAMING, build_chip
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.thermal.calibration import (
+    heating_rate_c_per_s,
+    settling_time,
+    steady_state_report,
+    thermal_time_constant,
+)
+from repro.thermal.package import HIGH_PERFORMANCE, MOBILE_EMBEDDED
+from repro.thermal.rc_network import build_network
+from repro.thermal.sensors import ThermalSubsystem
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def chip(sim):
+    return build_chip(lambda: sim.now, 3, CONF1_STREAMING, sim=sim)
+
+
+@pytest.fixture
+def network(chip):
+    return build_network(chip.floorplan, [b.name for b in chip.blocks],
+                         MOBILE_EMBEDDED, ambient_c=chip.ambient_c)
+
+
+@pytest.fixture
+def sensors(sim, chip, network):
+    return ThermalSubsystem(sim, chip, network, period_s=0.01,
+                            trace=TraceRecorder())
+
+
+class TestSensorLoop:
+    def test_updates_at_10ms(self, sim, sensors):
+        sim.run_until(0.1)
+        assert sensors.updates == 10
+
+    def test_idle_chip_stays_near_ambient(self, sim, chip, sensors):
+        sim.run_until(1.0)
+        # Idle cores still burn idle + leakage power, so slightly warm.
+        temps = sensors.core_temperatures()
+        assert np.all(temps >= chip.ambient_c)
+        assert np.all(temps < chip.ambient_c + 40)
+
+    def test_busy_core_heats_up(self, sim, chip, sensors):
+        chip.set_tile_active(0, True)
+        sim.run_until(3.0)
+        temps = sensors.core_temperatures()
+        assert temps[0] > temps[2] + 1.0
+
+    def test_temperatures_fed_back_to_chip(self, sim, chip, sensors):
+        chip.set_tile_active(0, True)
+        sim.run_until(2.0)
+        assert chip.temps_c[chip.block_index("core0")] == pytest.approx(
+            sensors.block_temperatures()[chip.block_index("core0")])
+
+    def test_trace_records_all_cores(self, sim, sensors):
+        sim.run_until(0.05)
+        for i in range(3):
+            assert len(sensors.trace.series(f"temp.core{i}")) == 5
+        assert len(sensors.trace.series("temp.package")) == 5
+
+    def test_listeners_called_with_core_temps(self, sim, sensors):
+        seen = []
+        sensors.add_listener(lambda now, temps: seen.append((now,
+                                                             len(temps))))
+        sim.run_until(0.03)
+        assert seen == [(0.01, 3), (0.02, 3), (0.03, 3)]
+
+    def test_preheat_jumps_to_steady_state(self, sim, chip, sensors):
+        chip.set_tile_active(0, True)
+        sensors.preheat_to_steady_state()
+        before = sensors.core_temperatures().copy()
+        sim.run_until(0.5)
+        after = sensors.core_temperatures()
+        assert np.allclose(before, after, atol=0.2)
+
+    def test_stop_halts_updates(self, sim, sensors):
+        sim.run_until(0.05)
+        sensors.stop()
+        sim.run_until(0.2)
+        assert sensors.updates == 5
+
+    def test_noise_is_deterministic_per_seed(self, sim, chip, network):
+        from repro.sim.rng import SimRandom
+        s1 = ThermalSubsystem(sim, chip, network, noise_sigma_c=0.5,
+                              rng=SimRandom(1))
+        s2 = ThermalSubsystem(sim, chip, network, noise_sigma_c=0.5,
+                              rng=SimRandom(1))
+        assert np.allclose(s1.core_temperatures(), s2.core_temperatures())
+
+    def test_mismatched_network_rejected(self, sim, chip):
+        fp = chip.floorplan
+        small = build_network(fp, ["core0"], MOBILE_EMBEDDED)
+        with pytest.raises(ValueError):
+            ThermalSubsystem(sim, chip, small)
+
+
+class TestCalibration:
+    def test_mobile_package_takes_seconds_for_10_degrees(self, network):
+        """Sec. 4: 'temperature rising of around 10 degrees Centigrades
+        requires few seconds to take place' for the mobile package."""
+        tau = thermal_time_constant(network, "core0", power_w=0.45)
+        assert 1.0 < tau < 6.0
+
+    def test_high_perf_rises_in_under_a_second(self, chip):
+        net = build_network(chip.floorplan, [b.name for b in chip.blocks],
+                            HIGH_PERFORMANCE, ambient_c=chip.ambient_c)
+        tau = thermal_time_constant(net, "core0", power_w=0.45)
+        assert tau < 1.0
+
+    def test_settling_time_within_warmup(self, network, chip):
+        """The paper's 12.5 s warm-up must approximately settle the
+        mobile die (within ~1.5 C of equilibrium)."""
+        power = np.zeros(network.n_blocks)
+        for i in range(3):
+            power[network.index(f"core{i}")] = 0.2
+        assert settling_time(network, power, tolerance_c=1.5) < 14.0
+
+    def test_steady_state_report_identifies_extremes(self, network):
+        power = np.zeros(network.n_blocks)
+        power[network.index("core0")] = 0.5
+        power[network.index("core2")] = 0.1
+        report = steady_state_report(network, power,
+                                     only=["core0", "core1", "core2"])
+        assert report.hottest == "core0"
+        assert report.coolest == "core2"
+        assert report.spread_c > 0
+
+    def test_heating_rate_positive_under_power(self, network):
+        assert heating_rate_c_per_s(network, "core1", 0.4) > 0
+
+    def test_heating_rate_scales_with_power(self, network):
+        r1 = heating_rate_c_per_s(network, "core1", 0.2)
+        r2 = heating_rate_c_per_s(network, "core1", 0.4)
+        assert r2 == pytest.approx(2 * r1)
