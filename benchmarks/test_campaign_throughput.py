@@ -1,0 +1,71 @@
+"""Campaign engine throughput: parallel sweep speedup over serial.
+
+Benchmarks the same 8-run threshold sweep through ``CampaignRunner``
+with 1 worker and with ``N`` workers (fresh runner per round, so every
+round simulates from scratch).  ``pytest benchmarks/ --benchmark-only
+-k campaign`` compares the two; the speedup assertion is deliberately
+loose — on a single-core box (CI containers) the parallel path can
+only track its own pool overhead, and even multi-core runs pay real
+start-up costs — but a parallel sweep regressing to much slower than
+serial should fail loudly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.campaign import CampaignRunner, sweep
+from repro.experiments.config import ExperimentConfig
+
+from conftest import emit
+
+#: Enough simulated work per run that pool start-up does not dominate.
+_BASE = ExperimentConfig(warmup_s=5.0, measure_s=10.0)
+
+#: 8 runs: 2 policies x 4 thresholds on the mobile package.
+_CONFIGS = sweep(_BASE, policy=("energy", "migra"),
+                 threshold_c=(1.0, 2.0, 3.0, 4.0))
+
+_PARALLEL_WORKERS = max(2, min(4, multiprocessing.cpu_count()))
+
+
+def _run_sweep(workers: int):
+    # A fresh runner per call: no cache reuse between rounds.
+    return CampaignRunner(workers=workers).run(
+        _CONFIGS, name=f"throughput-w{workers}")
+
+
+def test_campaign_serial(benchmark):
+    result = benchmark.pedantic(_run_sweep, args=(1,),
+                                iterations=1, rounds=2)
+    assert len(result.runs) == len(_CONFIGS)
+    assert result.n_cached == 0
+
+
+def test_campaign_parallel(benchmark):
+    result = benchmark.pedantic(_run_sweep, args=(_PARALLEL_WORKERS,),
+                                iterations=1, rounds=2)
+    assert len(result.runs) == len(_CONFIGS)
+    assert result.n_cached == 0
+
+
+def test_parallel_speedup_over_serial():
+    """Direct wall-clock comparison, reported as the sweep artifact."""
+    t0 = time.perf_counter()
+    serial = _run_sweep(1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = _run_sweep(_PARALLEL_WORKERS)
+    t_parallel = time.perf_counter() - t0
+
+    speedup = t_serial / t_parallel
+    emit(f"campaign throughput: {len(_CONFIGS)} runs, serial "
+         f"{t_serial:.2f}s vs {_PARALLEL_WORKERS} workers "
+         f"{t_parallel:.2f}s -> speedup {speedup:.2f}x\n"
+         + parallel.to_text())
+    assert [a.report.to_json() for a in serial.runs] == \
+        [b.report.to_json() for b in parallel.runs]
+    # Loose floor: parallel must not be meaningfully slower than serial.
+    assert speedup > 0.7

@@ -3,8 +3,8 @@
 Demonstrates the extension surface: subclass
 :class:`repro.ThermalPolicy`, read temperatures from the sensor
 callback, actuate through the MPOS (migration engine / core gating),
-and plug the policy into a hand-built system with
-:func:`repro.build_system`'s components.
+and register the policy with ``@register_policy`` so the standard
+runner — and any campaign sweep — can run it by name.
 
 The toy policy here — "coolest-core herding" — periodically moves the
 single highest-load task of the hottest core to the coolest core,
@@ -18,8 +18,8 @@ Run:  python examples/custom_policy.py        (~30 s)
 import numpy as np
 
 from repro import ExperimentConfig, ThermalPolicy, run_experiment
-from repro.experiments import runner as runner_mod
 from repro.mpos.migration import MigrationPlan
+from repro.policies.registry import register_policy
 
 
 class CoolestCoreHerding(ThermalPolicy):
@@ -57,15 +57,17 @@ class CoolestCoreHerding(ThermalPolicy):
         self.record(now, "migration", hot, detail=victim.name)
 
 
-def run_with(policy_factory, label):
-    """Run the standard experiment with a custom policy object."""
-    original = runner_mod.make_policy
-    runner_mod.make_policy = lambda cfg: policy_factory()
-    try:
-        result = run_experiment(ExperimentConfig(policy="migra",
-                                                 threshold_c=3.0))
-    finally:
-        runner_mod.make_policy = original
+# One decorator makes the policy a first-class scenario: the runner,
+# the CLI and the campaign engine can all run it by name.
+@register_policy("herding")
+def _herding(config: ExperimentConfig) -> CoolestCoreHerding:
+    return CoolestCoreHerding(threshold_c=config.threshold_c)
+
+
+def run_with(policy_name, label):
+    """Run the standard experiment with a registered policy name."""
+    result = run_experiment(ExperimentConfig(policy=policy_name,
+                                             threshold_c=3.0))
     report = result.report
     print(f"{label:<28} T.std={report.pooled_std_c:6.3f} C  "
           f"migr/s={report.migrations_per_s:5.2f}  "
@@ -75,10 +77,8 @@ def run_with(policy_factory, label):
 
 def main() -> None:
     print("Custom policy vs the paper's policy (mobile, theta = 3 C):")
-    naive = run_with(lambda: CoolestCoreHerding(3.0), "coolest-core herding")
-    paper = run_with(
-        lambda: runner_mod.MigraThermalBalancer(3.0, eval_period_s=0.1),
-        "paper policy (migra)")
+    naive = run_with("herding", "coolest-core herding")
+    paper = run_with("migra", "paper policy (migra)")
     print()
     if naive.migrations_per_s > paper.migrations_per_s:
         print("The naive policy migrates more for its balance — the")

@@ -16,10 +16,26 @@ Quick start::
                                              threshold_c=3.0))
     print(result.report.to_text())
 
+Sweeps go through the campaign engine (parallel + cached)::
+
+    from repro import CampaignRunner, sweep
+
+    result = CampaignRunner(workers=8).run(
+        sweep(policy=("energy", "migra"),
+              threshold_c=(1.0, 2.0, 3.0, 4.0)))
+    print(result.to_text())
+
 See ``examples/`` for end-to-end walkthroughs and ``DESIGN.md`` for the
 architecture.
 """
 
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    SystemBuilder,
+    register_campaign,
+    sweep,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     RunResult,
@@ -54,6 +70,8 @@ from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
     "EnergyBalancing",
     "ExperimentConfig",
     "LoadBalancing",
@@ -68,6 +86,7 @@ __all__ = [
     "StopAndGo",
     "StreamGraph",
     "StreamingApplication",
+    "SystemBuilder",
     "SystemUnderTest",
     "TaskSpec",
     "ThermalPolicy",
@@ -80,7 +99,9 @@ __all__ = [
     "figure10",
     "figure11",
     "narrative_sec52",
+    "register_campaign",
     "run_experiment",
+    "sweep",
     "table1",
     "table2",
 ]

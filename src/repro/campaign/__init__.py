@@ -1,0 +1,57 @@
+"""Campaign subsystem: scenario registries + parallel sweep engine.
+
+Turns the one-shot experiment runner into a scalable experiment
+service.  The pieces:
+
+* **Registries** (``repro.policies.registry``,
+  ``repro.streaming.registry``, ``repro.platform.registry``,
+  ``repro.thermal.registry``) — decorator-based name -> component maps
+  behind every ``ExperimentConfig`` field, so new scenarios plug in
+  without touching the runner.
+* :class:`SystemBuilder` — composable assembly of simulator, N-core
+  chip, RC network, sensors, OS, workload and policy, with per-component
+  override hooks.
+* :class:`CampaignRunner` — fans configurations out over
+  ``multiprocessing``, caches completed runs by config hash (in memory
+  and optionally on disk) and aggregates a :class:`CampaignResult`
+  sweep report.
+* :func:`sweep` / named campaigns — cartesian-product spec helpers and
+  the ``repro campaign <name>`` entries.
+
+Adding a scenario end-to-end::
+
+    from repro.campaign import CampaignRunner, sweep
+    from repro.policies.registry import register_policy
+
+    @register_policy("my-policy")
+    def _factory(config):
+        return MyPolicy(threshold_c=config.threshold_c)
+
+    result = CampaignRunner(workers=8).run(
+        sweep(policy="my-policy", threshold_c=(1.0, 2.0, 3.0, 4.0),
+              package=("mobile", "highperf")))
+    print(result.to_text())
+"""
+
+from repro.campaign.builder import SystemBuilder, SystemUnderTest
+from repro.campaign.engine import CampaignResult, CampaignRun, CampaignRunner
+from repro.campaign.spec import (
+    SWEEP_POLICIES,
+    campaign_registry,
+    expand_campaign,
+    register_campaign,
+    sweep,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRun",
+    "CampaignRunner",
+    "SWEEP_POLICIES",
+    "SystemBuilder",
+    "SystemUnderTest",
+    "campaign_registry",
+    "expand_campaign",
+    "register_campaign",
+    "sweep",
+]

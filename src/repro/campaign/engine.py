@@ -1,0 +1,233 @@
+"""Parallel campaign execution with config-hash caching.
+
+:class:`CampaignRunner` fans a list of
+:class:`~repro.experiments.config.ExperimentConfig` out over a
+``multiprocessing`` pool and aggregates the per-run
+:class:`~repro.metrics.report.RunReport` into a
+:class:`CampaignResult`.  Runs are keyed by
+:meth:`~repro.experiments.config.ExperimentConfig.config_hash`:
+
+* duplicate configs in one campaign simulate once;
+* completed runs are cached in memory (and, with ``cache_dir``, as
+  JSON manifests on disk), so re-running a sweep only simulates the
+  configurations that changed;
+* each worker process keeps the module-level
+  :mod:`~repro.thermal.integrator` propagator cache warm, so runs that
+  share a thermal network and sensor period skip the matrix
+  exponential.
+
+Runs are deterministic, so the parallel path produces byte-identical
+reports to the serial one — ``workers`` is purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.report import RunReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+
+def _execute(config_dict: Dict) -> Dict:
+    """Worker entry point: one simulation, plain dicts in and out."""
+    # Under a spawn/forkserver start method the worker re-imports from
+    # scratch; pull in the in-repo modules that register extra
+    # scenarios so their names validate.  (Fork workers inherit the
+    # parent's registries and don't need this.)
+    from repro.experiments import ablation, figure1  # noqa: F401
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+    config = ExperimentConfig.from_dict(config_dict)
+    return run_experiment(config).report.to_dict()
+
+
+@dataclass
+class CampaignRun:
+    """One row of a campaign: a configuration and its report."""
+
+    config: ExperimentConfig
+    report: RunReport
+    cached: bool = False      # served from cache instead of simulated
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated sweep report."""
+
+    name: str
+    runs: List[CampaignRun]
+    workers: int
+    elapsed_s: float
+
+    @property
+    def reports(self) -> List[RunReport]:
+        return [run.report for run in self.runs]
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for run in self.runs if run.cached)
+
+    def report_for(self, config: ExperimentConfig) -> RunReport:
+        """The report produced for ``config`` (by config hash)."""
+        index = getattr(self, "_index", None)
+        if index is None:
+            index = {run.config.config_hash(): run.report
+                     for run in self.runs}
+            self._index = index
+        try:
+            return index[config.config_hash()]
+        except KeyError:
+            raise KeyError(
+                f"campaign {self.name!r} has no run for {config}") from None
+
+    def to_text(self) -> str:
+        lines = [
+            f"campaign {self.name!r}: {len(self.runs)} runs "
+            f"({self.n_cached} cached) in {self.elapsed_s:.1f}s "
+            f"with {self.workers} worker(s)",
+            RunReport.HEADER,
+        ]
+        lines += [run.report.to_row() for run in self.runs]
+        return "\n".join(lines)
+
+    def to_manifest(self) -> Dict:
+        """Plain-type manifest (configs + reports) for tooling."""
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "elapsed_s": self.elapsed_s,
+            "runs": [{"config_hash": run.config.config_hash(),
+                      "config": run.config.to_dict(),
+                      "report": run.report.to_dict(),
+                      "cached": run.cached}
+                     for run in self.runs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_manifest(), indent=indent, sort_keys=True)
+
+
+class CampaignRunner:
+    """Runs experiment configurations in parallel, with caching.
+
+    Parameters
+    ----------
+    workers:
+        Default process count for :meth:`run` (1 = in-process serial).
+    cache_dir:
+        Optional directory for persistent per-run JSON manifests
+        (``<config_hash>.json``).  Serves as a cross-process,
+        cross-session cache and as the campaign's result artifact.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache_dir: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._memory: Dict[str, RunReport] = {}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, configs: Iterable[ExperimentConfig],
+            name: str = "campaign",
+            workers: Optional[int] = None) -> CampaignResult:
+        """Run every configuration (deduplicated by config hash)."""
+        t_start = time.perf_counter()
+        n_workers = self.workers if workers is None else int(workers)
+        configs = list(configs)
+
+        unique: Dict[str, ExperimentConfig] = {}
+        for config in configs:
+            unique.setdefault(config.config_hash(), config)
+
+        reports: Dict[str, RunReport] = {}
+        hits = set()
+        missing: List[Tuple[str, ExperimentConfig]] = []
+        for key, config in unique.items():
+            report = self._cached(key)
+            if report is not None:
+                reports[key] = report
+                hits.add(key)
+            else:
+                missing.append((key, config))
+
+        fresh = self._simulate([config for _, config in missing], n_workers)
+        for (key, config), report in zip(missing, fresh):
+            reports[key] = report
+            self._store(key, config, report)
+
+        runs = [CampaignRun(config=config,
+                            report=reports[config.config_hash()],
+                            cached=config.config_hash() in hits)
+                for config in configs]
+        return CampaignResult(name=name, runs=runs, workers=n_workers,
+                              elapsed_s=time.perf_counter() - t_start)
+
+    def run_one(self, config: ExperimentConfig) -> RunReport:
+        """Run (or fetch) a single configuration's report."""
+        key = config.config_hash()
+        report = self._cached(key)
+        if report is None:
+            from repro.experiments.runner import run_experiment
+            report = run_experiment(config).report
+            self._store(key, config, report)
+        return report
+
+    def _simulate(self, configs: List[ExperimentConfig],
+                  n_workers: int) -> List[RunReport]:
+        if not configs:
+            return []
+        if n_workers <= 1 or len(configs) == 1:
+            from repro.experiments.runner import run_experiment
+            return [run_experiment(config).report for config in configs]
+        # Prefer fork where available: workers inherit the parent's
+        # scenario registries, so even configs referencing components
+        # registered at runtime (custom policies, ablation variants)
+        # validate in the worker.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ctx.Pool(min(n_workers, len(configs))) as pool:
+            dicts = pool.map(_execute,
+                             [config.to_dict() for config in configs])
+        return [RunReport(**d) for d in dicts]
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop the in-memory cache (disk manifests are kept)."""
+        self._memory.clear()
+
+    def _cached(self, key: str) -> Optional[RunReport]:
+        report = self._memory.get(key)
+        if report is not None:
+            return report
+        if self.cache_dir is not None:
+            path = self.cache_dir / f"{key}.json"
+            if path.is_file():
+                manifest = json.loads(path.read_text())
+                report = RunReport(**manifest["report"])
+                self._memory[key] = report
+                return report
+        return None
+
+    def _store(self, key: str, config: ExperimentConfig,
+               report: RunReport) -> None:
+        self._memory[key] = report
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            manifest = {"config_hash": key, "config": config.to_dict(),
+                        "report": report.to_dict()}
+            path = self.cache_dir / f"{key}.json"
+            path.write_text(json.dumps(manifest, indent=2, sort_keys=True))

@@ -1,0 +1,115 @@
+"""Campaign specification helpers and named campaigns.
+
+:func:`sweep` expands keyword axes into the cartesian product of
+configurations — the shape of every figure sweep in the paper
+(policies x thresholds x packages).  Named campaigns are factories
+``factory(base) -> [ExperimentConfig]`` in ``campaign_registry``,
+runnable from the CLI (``repro campaign <name>``)::
+
+    from repro.campaign import register_campaign, sweep
+
+    @register_campaign("my-sweep")
+    def _my_sweep(base):
+        return sweep(base, policy=("migra", "stopgo"),
+                     threshold_c=(1.0, 2.0))
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+#: The three policies the paper compares in Figs. 7-10.
+SWEEP_POLICIES = ("energy", "stopgo", "migra")
+
+#: Name -> ``factory(base) -> List[ExperimentConfig]``.
+campaign_registry = Registry("campaign")
+
+CampaignFactory = Callable[["ExperimentConfig"], List["ExperimentConfig"]]
+
+
+def register_campaign(name: str):
+    """Decorator registering a named campaign factory."""
+    return campaign_registry.register(name)
+
+
+def expand_campaign(name: str,
+                    base: Optional["ExperimentConfig"] = None,
+                    ) -> List["ExperimentConfig"]:
+    """Configurations of the named campaign, built on ``base``."""
+    from repro.experiments.config import ExperimentConfig
+    return campaign_registry.resolve(name)(base or ExperimentConfig())
+
+
+def sweep(base: Optional["ExperimentConfig"] = None,
+          **axes) -> List["ExperimentConfig"]:
+    """Cartesian product of config variants.
+
+    Each keyword is an :class:`ExperimentConfig` field; a sequence value
+    is an axis, a scalar (or string) pins the field::
+
+        sweep(policy=("migra", "stopgo"), threshold_c=(1.0, 2.0),
+              package="highperf")   # 4 configs
+
+    Axes expand in keyword order with the last axis varying fastest.
+    """
+    from repro.experiments.config import ExperimentConfig
+    base = base or ExperimentConfig()
+    names = list(axes)
+    values = []
+    for name in names:
+        value = axes[name]
+        if isinstance(value, str) or not isinstance(value, Sequence):
+            value = (value,)
+        values.append(tuple(value))
+    return [base.variant(**dict(zip(names, combo)))
+            for combo in itertools.product(*values)]
+
+
+# ----------------------------------------------------------------------
+# named campaigns
+# ----------------------------------------------------------------------
+@register_campaign("smoke")
+def _smoke(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """Two-scenario sanity run (CI): the policy vs the static mapping."""
+    return sweep(base, policy=("energy", "migra"))
+
+
+@register_campaign("threshold-sweep")
+def _threshold_sweep(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """The Figs. 7-10 matrix: policies x thresholds x both packages."""
+    from repro.experiments.config import THRESHOLD_SWEEP_C
+    return sweep(base, package=("mobile", "highperf"),
+                 policy=SWEEP_POLICIES, threshold_c=THRESHOLD_SWEEP_C)
+
+
+@register_campaign("fig7")
+def _fig7(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """The Fig. 7/8 sweep (mobile package)."""
+    from repro.experiments.config import THRESHOLD_SWEEP_C
+    return sweep(base, package="mobile", policy=SWEEP_POLICIES,
+                 threshold_c=THRESHOLD_SWEEP_C)
+
+
+@register_campaign("fig9")
+def _fig9(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """The Fig. 9/10 sweep (high-performance package)."""
+    from repro.experiments.config import THRESHOLD_SWEEP_C
+    return sweep(base, package="highperf", policy=SWEEP_POLICIES,
+                 threshold_c=THRESHOLD_SWEEP_C)
+
+
+@register_campaign("scaling")
+def _scaling(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """Core-count scaling: policy vs static mapping on 2-6 cores."""
+    configs: List[ExperimentConfig] = []
+    for n in (2, 3, 4, 5, 6):
+        for policy in ("energy", "migra"):
+            configs.append(base.variant(policy=policy, n_cores=n,
+                                        n_bands=n, threshold_c=2.0))
+    return configs

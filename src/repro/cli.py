@@ -5,12 +5,33 @@ Regenerate any table or figure of the paper::
     repro table1
     repro table2
     repro fig2
-    repro fig7 --measure 25
+    repro fig7 --measure 25 --workers 8
     repro fig11
     repro narrative
     repro run --policy migra --threshold 2 --package highperf
-    repro ablation top-k
+    repro ablation top-k --workers 4
     repro list
+
+Sweep many configurations through the campaign engine::
+
+    repro campaign threshold-sweep --workers 8
+        Run a named campaign (see ``repro campaign --list-campaigns``
+        or ``repro list``): ``smoke`` (2-run CI check), ``fig7`` /
+        ``fig9`` (the paper's threshold sweeps), ``threshold-sweep``
+        (both packages), ``scaling`` (2-6 cores).  ``--warmup`` /
+        ``--measure`` shorten the phases, ``--cache-dir`` persists
+        per-run JSON manifests keyed by config hash (re-running a
+        campaign only simulates what changed), ``--json`` emits the
+        aggregated manifest instead of the table.
+
+    repro sweep --policies migra stopgo --thresholds 1 2 3 4 \\
+                --packages mobile highperf --workers 8
+        Ad-hoc cartesian sweep (policies x thresholds x packages x
+        platforms) through the same engine.
+
+New scenarios (policies, workloads, platforms, packages) register via
+the decorators in ``repro.*.registry`` and are then directly runnable
+by name — see ``repro.campaign`` for an end-to-end example.
 
 (or ``python -m repro ...``).
 """
@@ -21,6 +42,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.campaign import CampaignRunner, campaign_registry, \
+    expand_campaign, sweep
 from repro.experiments import ablation as ablation_mod
 from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
 from repro.experiments.figures import (
@@ -57,6 +80,8 @@ _EXPERIMENTS = (
     "fig11: migrations/s, both packages",
     "narrative: Sec. 5.2 prose claims",
     "run: one custom run (see --help)",
+    "campaign: run a named campaign through the parallel engine",
+    "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
     "ablation: design-choice studies (candidate-filter, top-k, strategy, "
     "queue-capacity, sensor-period, stopgo-variant, platform)",
     "scaling: core-count scaling study (extension)",
@@ -71,6 +96,18 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     if getattr(args, "measure", None) is not None:
         kwargs["measure_s"] = args.measure
     return ExperimentConfig(**kwargs)
+
+
+def _add_phase_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--warmup", type=float, default=None,
+                   help="warm-up seconds (default 12.5)")
+    p.add_argument("--measure", type=float, default=None,
+                   help="measured seconds (default 25)")
+
+
+def _add_workers_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sweep (default 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,10 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
     for name in _FIGURES:
         p = sub.add_parser(name, help=f"regenerate {name}")
         if name != "fig2":
-            p.add_argument("--warmup", type=float, default=None,
-                           help="warm-up seconds (default 12.5)")
-            p.add_argument("--measure", type=float, default=None,
-                           help="measured seconds (default 25)")
+            _add_phase_options(p)
+            _add_workers_option(p)
 
     p = sub.add_parser("narrative", help="measure the Sec. 5.2 claims")
     p.add_argument("--threshold", type=float, default=3.0)
@@ -115,13 +150,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
 
+    p = sub.add_parser("campaign",
+                       help="run a named campaign through the "
+                            "parallel engine")
+    p.add_argument("name", nargs="?", default=None,
+                   help="campaign name (see --list-campaigns)")
+    p.add_argument("--list-campaigns", action="store_true",
+                   help="list registered campaigns and exit")
+    _add_phase_options(p)
+    _add_workers_option(p)
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persist per-run JSON manifests keyed by "
+                        "config hash")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregated manifest as JSON")
+
+    p = sub.add_parser("sweep",
+                       help="ad-hoc cartesian sweep through the "
+                            "campaign engine")
+    p.add_argument("--policies", nargs="+", default=["migra"],
+                   metavar="POLICY")
+    p.add_argument("--thresholds", nargs="+", type=float,
+                   default=list(THRESHOLD_SWEEP_C), metavar="C")
+    p.add_argument("--packages", nargs="+", default=["mobile"],
+                   metavar="PKG")
+    p.add_argument("--platforms", nargs="+", default=["conf1"],
+                   metavar="PLAT")
+    _add_phase_options(p)
+    _add_workers_option(p)
+    p.add_argument("--cache-dir", metavar="DIR", default=None)
+    p.add_argument("--json", action="store_true")
+
     p = sub.add_parser("ablation", help="run an ablation study")
     p.add_argument("name", choices=sorted(ablation_mod.ALL_ABLATIONS))
+    _add_workers_option(p)
 
     p = sub.add_parser("scaling",
                        help="core-count scaling study (extension)")
     p.add_argument("--cores", type=int, nargs="+", default=[2, 3, 4, 5])
     p.add_argument("--threshold", type=float, default=2.0)
+    _add_workers_option(p)
 
     p = sub.add_parser("thermal-map",
                        help="ASCII die temperature map (grid model)")
@@ -153,6 +221,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("Available experiments:")
         for line in _EXPERIMENTS:
             print(f"  {line}")
+        print("Registered campaigns:")
+        for name in campaign_registry.names():
+            print(f"  {name}")
         return 0
     if args.command == "table1":
         print(table1().to_text())
@@ -170,7 +241,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             base = _base_config(args)
             print(_FIGURES[args.command](
-                THRESHOLD_SWEEP_C, base).to_text())
+                THRESHOLD_SWEEP_C, base, workers=args.workers).to_text())
         return 0
     if args.command == "narrative":
         print(narrative_sec52(threshold_c=args.threshold).to_text())
@@ -198,14 +269,46 @@ def _dispatch(args: argparse.Namespace) -> int:
             export_csv(result.system.trace, keys, path=args.dump_traces)
             print(f"traces written to {args.dump_traces}")
         return 0
+    if args.command == "campaign":
+        if args.list_campaigns or args.name is None:
+            print("Registered campaigns:")
+            for name in campaign_registry.names():
+                print(f"  {name}")
+            return 0
+        try:
+            configs = expand_campaign(args.name, _base_config(args))
+        except ValueError as error:     # typo'd campaign/scenario name
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        runner = CampaignRunner(workers=args.workers,
+                                cache_dir=args.cache_dir)
+        result = runner.run(configs, name=args.name)
+        print(result.to_json() if args.json else result.to_text())
+        return 0
+    if args.command == "sweep":
+        try:
+            configs = sweep(_base_config(args),
+                            platform=tuple(args.platforms),
+                            package=tuple(args.packages),
+                            policy=tuple(args.policies),
+                            threshold_c=tuple(args.thresholds))
+        except ValueError as error:     # typo'd scenario name
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        runner = CampaignRunner(workers=args.workers,
+                                cache_dir=args.cache_dir)
+        result = runner.run(configs, name="sweep")
+        print(result.to_json() if args.json else result.to_text())
+        return 0
     if args.command == "ablation":
-        rows = ablation_mod.ALL_ABLATIONS[args.name]()
+        rows = ablation_mod.ALL_ABLATIONS[args.name](workers=args.workers)
         print(ablation_mod.render(f"Ablation: {args.name}", rows))
         return 0
     if args.command == "scaling":
         from repro.experiments import scaling
         rows = scaling.scaling_study(core_counts=tuple(args.cores),
-                                     threshold_c=args.threshold)
+                                     threshold_c=args.threshold,
+                                     workers=args.workers)
         print(scaling.render(rows))
         return 0
     if args.command == "thermal-map":

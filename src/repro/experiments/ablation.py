@@ -11,6 +11,11 @@ each piece is measurable:
   full policy (Fig. 2's cost difference turned into end-to-end QoS).
 * ``ablation_queue_capacity`` — pipeline buffering vs deadline misses.
 * ``ablation_sensor_period`` — thermal monitoring rate vs balance.
+
+The policy variants (no-condition-2 Migra, the original Stop&Go) are
+registered policies in their own right — each ablation is just a list
+of configurations driven through the shared campaign engine, so
+``repro ablation <name> --workers N`` parallelizes it.
 """
 
 from __future__ import annotations
@@ -20,9 +25,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.campaign import CampaignRunner
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import RunResult, run_experiment
+from repro.metrics.report import RunReport
 from repro.policies.migra import MigraThermalBalancer
+from repro.policies.registry import register_policy
+from repro.policies.stop_go import StopAndGo
 
 
 @dataclass
@@ -42,13 +50,20 @@ class AblationRow:
                 f"migr/s={self.migrations_per_s:5.2f}")
 
 
-def _row(label: str, result: RunResult) -> AblationRow:
-    return AblationRow(
-        label=label,
-        pooled_std_c=result.temperature.pooled_std(),
-        spatial_std_c=result.temperature.spatial_std(),
-        deadline_misses=result.report.deadline_misses,
-        migrations_per_s=result.report.migrations_per_s)
+_ENGINE = CampaignRunner()
+
+
+def _rows(labelled: Sequence[tuple], workers: int = 1) -> List[AblationRow]:
+    """Run ``(label, config)`` pairs through the campaign engine."""
+    labels = [label for label, _ in labelled]
+    configs = [config for _, config in labelled]
+    result = _ENGINE.run(configs, name="ablation", workers=workers)
+    return [AblationRow(label=label,
+                        pooled_std_c=report.pooled_std_c,
+                        spatial_std_c=report.spatial_std_c,
+                        deadline_misses=report.deadline_misses,
+                        migrations_per_s=report.migrations_per_s)
+            for label, report in zip(labels, result.reports)]
 
 
 class _NoFreqCheckMigra(MigraThermalBalancer):
@@ -77,168 +92,146 @@ class _NoFreqCheckMigra(MigraThermalBalancer):
             governor.frequencies_hz = original
 
 
+@register_policy("migra-nocond2")
+def _migra_nocond2(config: ExperimentConfig) -> _NoFreqCheckMigra:
+    return _NoFreqCheckMigra(
+        threshold_c=config.threshold_c, top_k=config.top_k,
+        max_from_hot=config.max_from_hot,
+        max_from_dst=config.max_from_dst,
+        eval_period_s=config.daemon_period_s)
+
+
+@register_policy("stopgo-original")
+def _stopgo_original(config: ExperimentConfig) -> StopAndGo:
+    """The original Stop&Go [5]: absolute panic threshold + timeout."""
+    return StopAndGo(threshold_c=config.threshold_c, mode="timeout",
+                     panic_temp_c=72.0, timeout_s=1.0)
+
+
 def ablation_candidate_filter(base: Optional[ExperimentConfig] = None,
                               threshold_c: float = 2.0,
-                              package: str = "highperf") -> List[AblationRow]:
+                              package: str = "highperf",
+                              workers: int = 1) -> List[AblationRow]:
     """Full policy vs condition-2-free variant."""
     base = base or ExperimentConfig()
     cfg = base.variant(policy="migra", threshold_c=threshold_c,
                        package=package)
-    rows = [_row("full policy", run_experiment(cfg))]
-
-    from repro.experiments import runner as runner_mod
-    original = runner_mod.make_policy
-
-    def patched(config):
-        if config.policy == "migra":
-            return _NoFreqCheckMigra(
-                threshold_c=config.threshold_c, top_k=config.top_k,
-                max_from_hot=config.max_from_hot,
-                max_from_dst=config.max_from_dst)
-        return original(config)
-
-    runner_mod.make_policy = patched
-    try:
-        rows.append(_row("without condition 2", run_experiment(cfg)))
-    finally:
-        runner_mod.make_policy = original
-    return rows
+    return _rows([("full policy", cfg),
+                  ("without condition 2", cfg.variant(
+                      policy="migra-nocond2"))], workers)
 
 
 def ablation_top_k(base: Optional[ExperimentConfig] = None,
                    values: Sequence[int] = (1, 2, 3),
-                   threshold_c: float = 2.0) -> List[AblationRow]:
+                   threshold_c: float = 2.0,
+                   workers: int = 1) -> List[AblationRow]:
     """Phase-2 search width (the paper prunes to the top few loads)."""
     base = base or ExperimentConfig()
-    rows = []
-    for k in values:
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           top_k=k)
-        rows.append(_row(f"top_k={k}", run_experiment(cfg)))
-    return rows
+    return _rows([(f"top_k={k}",
+                   base.variant(policy="migra", threshold_c=threshold_c,
+                                top_k=k))
+                  for k in values], workers)
 
 
 def ablation_strategy(base: Optional[ExperimentConfig] = None,
-                      threshold_c: float = 2.0) -> List[AblationRow]:
+                      threshold_c: float = 2.0,
+                      workers: int = 1) -> List[AblationRow]:
     """Replication vs recreation with the full policy running."""
     base = base or ExperimentConfig()
-    rows = []
-    for strategy in ("replication", "recreation"):
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           migration_strategy=strategy)
-        rows.append(_row(strategy, run_experiment(cfg)))
-    return rows
+    return _rows([(strategy,
+                   base.variant(policy="migra", threshold_c=threshold_c,
+                                migration_strategy=strategy))
+                  for strategy in ("replication", "recreation")], workers)
 
 
 def ablation_queue_capacity(base: Optional[ExperimentConfig] = None,
                             capacities: Sequence[int] = (2, 4, 6, 8, 11),
                             policy: str = "stopgo",
-                            threshold_c: float = 3.0) -> List[AblationRow]:
+                            threshold_c: float = 3.0,
+                            workers: int = 1) -> List[AblationRow]:
     """Pipeline buffering against stalls (Sec. 5.2's queue discussion)."""
     base = base or ExperimentConfig()
-    rows = []
-    for cap in capacities:
-        cfg = base.variant(policy=policy, threshold_c=threshold_c,
-                           queue_capacity=cap)
-        rows.append(_row(f"capacity={cap}", run_experiment(cfg)))
-    return rows
+    return _rows([(f"capacity={cap}",
+                   base.variant(policy=policy, threshold_c=threshold_c,
+                                queue_capacity=cap))
+                  for cap in capacities], workers)
 
 
 def ablation_sensor_period(base: Optional[ExperimentConfig] = None,
                            periods_s: Sequence[float] = (0.005, 0.01, 0.05,
                                                          0.1),
                            threshold_c: float = 2.0,
-                           package: str = "highperf") -> List[AblationRow]:
+                           package: str = "highperf",
+                           workers: int = 1) -> List[AblationRow]:
     """Sensor rate: slower monitoring loosens the balance the policy
     can hold, especially on the fast package."""
     base = base or ExperimentConfig()
-    rows = []
-    for period in periods_s:
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           package=package, sensor_period_s=period)
-        rows.append(_row(f"sensor={1000 * period:.0f}ms",
-                         run_experiment(cfg)))
-    return rows
+    return _rows([(f"sensor={1000 * period:.0f}ms",
+                   base.variant(policy="migra", threshold_c=threshold_c,
+                                package=package, sensor_period_s=period))
+                  for period in periods_s], workers)
 
 
 def ablation_sensor_noise(base: Optional[ExperimentConfig] = None,
                           sigmas_c: Sequence[float] = (0.0, 0.25, 0.5,
                                                        1.0, 2.0),
-                          threshold_c: float = 2.0) -> List[AblationRow]:
+                          threshold_c: float = 2.0,
+                          workers: int = 1) -> List[AblationRow]:
     """Robustness to sensor noise: the policy reads noisy temperatures
     while the metrics measure ground truth.  Balance should degrade
     gracefully, with noise comparable to the threshold causing spurious
     triggers (more migrations) before it breaks the balance itself."""
     base = base or ExperimentConfig()
-    rows = []
-    for sigma in sigmas_c:
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           sensor_noise_c=sigma)
-        rows.append(_row(f"noise={sigma:.2f}C", run_experiment(cfg)))
-    return rows
+    return _rows([(f"noise={sigma:.2f}C",
+                   base.variant(policy="migra", threshold_c=threshold_c,
+                                sensor_noise_c=sigma))
+                  for sigma in sigmas_c], workers)
 
 
 def ablation_load_jitter(base: Optional[ExperimentConfig] = None,
                          jitters: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
-                         threshold_c: float = 2.0) -> List[AblationRow]:
+                         threshold_c: float = 2.0,
+                         workers: int = 1) -> List[AblationRow]:
     """Data-dependent workload: per-frame cycle costs vary by +-j while
     the policy plans with the nominal loads.  Balance and QoS should
     hold for realistic variation levels."""
     base = base or ExperimentConfig()
-    rows = []
-    for jitter in jitters:
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           load_jitter=jitter)
-        rows.append(_row(f"jitter=+-{100 * jitter:.0f}%",
-                         run_experiment(cfg)))
-    return rows
+    return _rows([(f"jitter=+-{100 * jitter:.0f}%",
+                   base.variant(policy="migra", threshold_c=threshold_c,
+                                load_jitter=jitter))
+                  for jitter in jitters], workers)
 
 
 def ablation_stopgo_variant(base: Optional[ExperimentConfig] = None,
-                            threshold_c: float = 3.0) -> List[AblationRow]:
+                            threshold_c: float = 3.0,
+                            workers: int = 1) -> List[AblationRow]:
     """The paper's modified Stop&Go (relative thresholds) vs the
     original (absolute panic temperature + resume timeout, [5])."""
-    from repro.experiments import runner as runner_mod
-    from repro.policies.stop_go import StopAndGo
-
     base = base or ExperimentConfig()
     cfg = base.variant(policy="stopgo", threshold_c=threshold_c)
-    rows = [_row("modified (relative band)", run_experiment(cfg))]
-
-    original = runner_mod.make_policy
-
-    def patched(config):
-        if config.policy == "stopgo":
-            return StopAndGo(threshold_c=config.threshold_c,
-                             mode="timeout", panic_temp_c=72.0,
-                             timeout_s=1.0)
-        return original(config)
-
-    runner_mod.make_policy = patched
-    try:
-        rows.append(_row("original (panic 72C + 1s timeout)",
-                         run_experiment(cfg)))
-    finally:
-        runner_mod.make_policy = original
-    return rows
+    return _rows([("modified (relative band)", cfg),
+                  ("original (panic 72C + 1s timeout)",
+                   cfg.variant(policy="stopgo-original"))], workers)
 
 
 def ablation_platform(base: Optional[ExperimentConfig] = None,
-                      threshold_c: float = 3.0) -> List[AblationRow]:
+                      threshold_c: float = 3.0,
+                      workers: int = 1) -> List[AblationRow]:
     """Conf1 (streaming cores, 0.5 W) vs Conf2 (ARM11-class, 0.27 W)
     under the full policy — lower-power cores leave a smaller gradient
     to balance in the first place."""
     base = base or ExperimentConfig()
-    rows = []
+    labelled = []
     for platform in ("conf1", "conf2"):
-        cfg = base.variant(policy="migra", threshold_c=threshold_c,
-                           platform=platform)
-        rows.append(_row(platform, run_experiment(cfg)))
-        static = base.variant(policy="energy", threshold_c=threshold_c,
-                              platform=platform)
-        rows.append(_row(f"{platform} (no policy)",
-                         run_experiment(static)))
-    return rows
+        labelled.append((platform,
+                         base.variant(policy="migra",
+                                      threshold_c=threshold_c,
+                                      platform=platform)))
+        labelled.append((f"{platform} (no policy)",
+                         base.variant(policy="energy",
+                                      threshold_c=threshold_c,
+                                      platform=platform)))
+    return _rows(labelled, workers)
 
 
 def render(title: str, rows: List[AblationRow]) -> str:

@@ -3,33 +3,37 @@
 A single dataclass pins down everything a run needs; its default values
 reproduce the paper's setup (3 cores, Conf1 power figures, Table 2
 mapping, 12.5 s warm-up, 10 ms sensors, task-replication migration).
+
+The ``policy``, ``workload``, ``package`` and ``platform`` fields are
+names resolved through the scenario registries (see
+:mod:`repro.registry`), so configurations can reference components that
+were registered after this module was imported.  Configurations are
+frozen (hashable), and :meth:`ExperimentConfig.to_dict` /
+:meth:`ExperimentConfig.from_dict` round-trip through plain JSON types
+so the campaign engine can key caches and result manifests on
+:meth:`ExperimentConfig.config_hash`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, Tuple
 
-from repro.platform.presets import CONF1_STREAMING, CONF2_ARM11, PlatformConfig
-from repro.thermal.package import (
-    HIGH_PERFORMANCE,
-    MOBILE_EMBEDDED,
-    ThermalPackageParams,
-)
+from repro.platform.presets import PlatformConfig
+from repro.platform.registry import platform_registry
+from repro.thermal.package import ThermalPackageParams
+from repro.thermal.registry import package_registry
 
-#: Package name -> parameter set.
-PACKAGES: Dict[str, ThermalPackageParams] = {
-    "mobile": MOBILE_EMBEDDED,
-    "highperf": HIGH_PERFORMANCE,
-}
+#: Package name -> parameter set (live registry view).
+PACKAGES = package_registry
 
-#: Platform configuration name -> preset (Table 1's Conf1/Conf2).
-PLATFORMS: Dict[str, PlatformConfig] = {
-    "conf1": CONF1_STREAMING,
-    "conf2": CONF2_ARM11,
-}
+#: Platform configuration name -> preset (live registry view).
+PLATFORMS = platform_registry
 
-#: Policy registry — names used throughout the experiments and CLI.
+#: The paper's built-in policies (the full live set is
+#: ``repro.policies.registry.policy_registry``).
 POLICY_NAMES = ("migra", "stopgo", "energy", "load")
 
 #: The threshold sweep of Figs. 7-11 (distance from the mean, Celsius).
@@ -51,6 +55,7 @@ class ExperimentConfig:
     n_cores: int = 3
 
     # Streaming application.
+    workload: str = "sdr"
     frame_period_s: float = 0.04
     queue_capacity: int = 6
     sink_start_delay_frames: int = 4
@@ -82,27 +87,31 @@ class ExperimentConfig:
     trace_enabled: bool = True
 
     def __post_init__(self) -> None:
-        if self.policy not in POLICY_NAMES:
-            raise ValueError(f"unknown policy {self.policy!r}; "
-                             f"choose from {POLICY_NAMES}")
-        if self.package not in PACKAGES:
-            raise ValueError(f"unknown package {self.package!r}")
-        if self.platform not in PLATFORMS:
-            raise ValueError(f"unknown platform {self.platform!r}")
+        # Imported here: the policy/workload registries import the OS
+        # and streaming stacks, which must not load just to define a
+        # config class.
+        from repro.policies.registry import policy_registry
+        from repro.streaming.registry import workload_registry
+        policy_registry.resolve(self.policy)
+        workload_registry.resolve(self.workload)
+        package_registry.resolve(self.package)
+        platform_registry.resolve(self.platform)
         if self.migration_strategy not in ("replication", "recreation"):
             raise ValueError(
                 f"unknown migration strategy {self.migration_strategy!r}")
         if self.warmup_s < 0 or self.measure_s <= 0:
             raise ValueError("phases must have positive duration")
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
 
     # ------------------------------------------------------------------
     @property
     def package_params(self) -> ThermalPackageParams:
-        return PACKAGES[self.package]
+        return package_registry.resolve(self.package)
 
     @property
     def platform_config(self) -> PlatformConfig:
-        return PLATFORMS[self.platform]
+        return platform_registry.resolve(self.platform)
 
     @property
     def t_end(self) -> float:
@@ -112,14 +121,39 @@ class ExperimentConfig:
         """A copy with some fields replaced."""
         return replace(self, **changes)
 
+    # ------------------------------------------------------------------
+    # serialization (campaign caching and result manifests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """All fields as plain JSON-serializable types."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown config fields: {unknown}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def config_hash(self) -> str:
+        """Stable hex digest identifying this configuration.
+
+        Unlike :func:`hash`, the digest is identical across processes
+        and interpreter runs, so it keys the campaign engine's on-disk
+        cache and result manifests.  Memoized: the config is frozen, so
+        the digest is computed at most once per instance.
+        """
+        cached = getattr(self, "_config_hash", None)
+        if cached is None:
+            cached = hashlib.sha256(self.to_json().encode()).hexdigest()[:20]
+            object.__setattr__(self, "_config_hash", cached)
+        return cached
+
     def cache_key(self) -> Tuple:
         """Hashable identity for run-matrix caching."""
-        return (self.policy, self.threshold_c, self.package, self.platform,
-                self.n_cores, self.frame_period_s, self.queue_capacity,
-                self.sink_start_delay_frames, self.n_bands,
-                self.load_jitter, self.warmup_s,
-                self.measure_s, self.quantum_s, self.sensor_period_s,
-                self.sensor_noise_c, self.daemon_period_s,
-                self.migration_strategy, self.top_k,
-                self.max_from_hot, self.max_from_dst, self.panic_guard,
-                self.panic_temp_c, self.seed)
+        return tuple(getattr(self, f.name) for f in fields(self))

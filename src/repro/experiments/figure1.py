@@ -21,7 +21,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
+from repro.streaming.application import StreamingApplication
 from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
+from repro.streaming.registry import register_workload
 
 F_MAX_HZ = 533e6
 
@@ -39,6 +41,15 @@ def build_fig1_graph() -> StreamGraph:
 
 #: Figure 1a: tasks A and B on core 1, task C on core 2.
 FIG1_MAPPING: Dict[str, int] = {"A": 0, "B": 0, "C": 1}
+
+
+@register_workload("fig1")
+def _fig1_workload(sim, mpos, config, trace) -> StreamingApplication:
+    """The Figure 1 synthetic pipeline as a registered workload."""
+    return StreamingApplication.build(
+        sim, mpos, build_fig1_graph(), dict(FIG1_MAPPING),
+        config.frame_period_s, config.queue_capacity,
+        config.sink_start_delay_frames, trace)
 
 
 @dataclass
@@ -69,34 +80,14 @@ class Figure1Result:
 def figure1(threshold_c: float = 1.0,
             base: Optional[ExperimentConfig] = None) -> Figure1Result:
     """Reproduce the Figure 1 example on the simulator."""
-    from repro.experiments import runner as runner_mod
-    from repro.streaming.application import StreamingApplication
-
     base = base or ExperimentConfig()
     cfg_static = base.variant(policy="energy", n_cores=2,
-                              threshold_c=threshold_c)
+                              threshold_c=threshold_c, workload="fig1")
     cfg_policy = base.variant(policy="migra", n_cores=2,
-                              threshold_c=threshold_c)
+                              threshold_c=threshold_c, workload="fig1")
 
-    original_build = runner_mod.build_sdr_application
-
-    def build_fig1_app(sim, mpos, frame_period_s, queue_capacity,
-                       sink_start_delay_frames, n_bands, trace):
-        return StreamingApplication.build(
-            sim, mpos, build_fig1_graph(), dict(FIG1_MAPPING),
-            frame_period_s, queue_capacity, sink_start_delay_frames,
-            trace)
-
-    runner_mod.build_sdr_application = \
-        lambda sim, mpos, **kw: build_fig1_app(
-            sim, mpos, kw["frame_period_s"], kw["queue_capacity"],
-            kw["sink_start_delay_frames"], kw.get("n_bands", 3),
-            kw.get("trace"))
-    try:
-        static = run_experiment(cfg_static)
-        balanced = run_experiment(cfg_policy)
-    finally:
-        runner_mod.build_sdr_application = original_build
+    static = run_experiment(cfg_static)
+    balanced = run_experiment(cfg_policy)
 
     freqs = tuple(t.frequency_hz / 1e6
                   for t in static.system.chip.tiles)

@@ -1,20 +1,25 @@
 """Figure regenerators (Figs. 2, 7, 8, 9, 10, 11).
 
 Each ``figureN()`` returns a :class:`FigureSeries` — the series the
-paper plots — computed from a shared, cached run matrix so that e.g.
-Fig. 7 and Fig. 8 (same runs, different metric) do not simulate twice.
+paper plots.  The simulation sweeps behind Figs. 7-11 are driven
+through a shared :class:`~repro.campaign.CampaignRunner`, whose
+config-hash cache ensures that e.g. Fig. 7 and Fig. 8 (same runs,
+different metric) do not simulate twice, and whose ``workers`` knob
+parallelizes a sweep (``repro fig7 --workers 8``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import CampaignRunner, sweep
 from repro.experiments.config import (
     THRESHOLD_SWEEP_C,
     ExperimentConfig,
 )
 from repro.experiments.runner import RunResult, run_experiment
+from repro.metrics.report import RunReport
 from repro.mpos.migration import TaskRecreation, TaskReplication
 from repro.platform.bus import SharedBus
 from repro.sim.kernel import Simulator
@@ -61,43 +66,55 @@ class FigureSeries:
 
 
 # ----------------------------------------------------------------------
-# shared run matrix with caching
+# shared campaign engine with caching
 # ----------------------------------------------------------------------
-_MATRIX_CACHE: Dict[tuple, RunResult] = {}
+_ENGINE = CampaignRunner()
+
+#: Full-result cache for :func:`run_cached` (reports alone come from
+#: the engine; custom harnesses also want the traces and raw metrics).
+_RESULT_CACHE: Dict[tuple, RunResult] = {}
 
 
 def run_cached(config: ExperimentConfig) -> RunResult:
-    """Run (or fetch) one configuration.  Keyed on the full config."""
+    """Run (or fetch) one full-result run.  Keyed on the full config."""
     key = config.cache_key()
-    if key not in _MATRIX_CACHE:
-        _MATRIX_CACHE[key] = run_experiment(config)
-    return _MATRIX_CACHE[key]
+    if key not in _RESULT_CACHE:
+        result = _RESULT_CACHE[key] = run_experiment(config)
+        # Seed the report-level engine cache so figure sweeps reuse it.
+        _ENGINE._store(config.config_hash(), config, result.report)
+    return _RESULT_CACHE[key]
 
 
 def clear_cache() -> None:
-    _MATRIX_CACHE.clear()
+    _RESULT_CACHE.clear()
+    _ENGINE.clear_cache()
 
 
 def run_matrix(package: str,
                thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
                policies: Sequence[str] = COMPARED_POLICIES,
                base: Optional[ExperimentConfig] = None,
-               ) -> Dict[Tuple[str, float], RunResult]:
-    """All (policy, threshold) runs for one package."""
-    base = base or ExperimentConfig()
-    out = {}
-    for policy in policies:
-        for theta in thresholds:
-            cfg = base.variant(policy=policy, threshold_c=float(theta),
-                               package=package)
-            out[(policy, float(theta))] = run_cached(cfg)
-    return out
+               workers: int = 1,
+               ) -> Dict[Tuple[str, float], RunReport]:
+    """All (policy, threshold) reports for one package.
+
+    Driven through the shared campaign engine: cached runs are reused,
+    the rest fan out over ``workers`` processes.
+    """
+    configs = sweep(base, package=package, policy=tuple(policies),
+                    threshold_c=tuple(float(t) for t in thresholds))
+    result = _ENGINE.run(configs, name=f"{package} matrix",
+                         workers=workers)
+    keys = [(policy, float(threshold)) for policy in policies
+            for threshold in thresholds]
+    return {key: run.report for key, run in zip(keys, result.runs)}
 
 
 def _policy_series(package: str, metric, thresholds: Sequence[float],
                    policies: Sequence[str],
-                   base: Optional[ExperimentConfig]) -> Dict[str, List[float]]:
-    matrix = run_matrix(package, thresholds, policies, base)
+                   base: Optional[ExperimentConfig],
+                   workers: int = 1) -> Dict[str, List[float]]:
+    matrix = run_matrix(package, thresholds, policies, base, workers)
     series: Dict[str, List[float]] = {}
     for policy in policies:
         label = POLICY_LABELS.get(policy, policy)
@@ -143,11 +160,12 @@ def figure2(sizes_kb: Sequence[int] = (64, 128, 256, 384, 512, 768, 1024),
 # Figures 7-10 — policy comparison sweeps
 # ----------------------------------------------------------------------
 def figure7(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
-            base: Optional[ExperimentConfig] = None) -> FigureSeries:
+            base: Optional[ExperimentConfig] = None,
+            workers: int = 1) -> FigureSeries:
     """Temperature standard deviation, mobile embedded package."""
     series = _policy_series(
-        "mobile", lambda r: r.report.pooled_std_c, thresholds,
-        COMPARED_POLICIES, base)
+        "mobile", lambda r: r.pooled_std_c, thresholds,
+        COMPARED_POLICIES, base, workers)
     return FigureSeries(
         figure="Figure 7",
         title="Temp. standard deviation for embedded SoCs",
@@ -156,11 +174,12 @@ def figure7(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 
 def figure8(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
-            base: Optional[ExperimentConfig] = None) -> FigureSeries:
+            base: Optional[ExperimentConfig] = None,
+            workers: int = 1) -> FigureSeries:
     """Deadline misses, mobile embedded package."""
     series = _policy_series(
-        "mobile", lambda r: float(r.report.deadline_misses), thresholds,
-        COMPARED_POLICIES, base)
+        "mobile", lambda r: float(r.deadline_misses), thresholds,
+        COMPARED_POLICIES, base, workers)
     return FigureSeries(
         figure="Figure 8",
         title="Deadline misses for the embedded mobile system",
@@ -169,11 +188,12 @@ def figure8(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 
 def figure9(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
-            base: Optional[ExperimentConfig] = None) -> FigureSeries:
+            base: Optional[ExperimentConfig] = None,
+            workers: int = 1) -> FigureSeries:
     """Temperature standard deviation, high-performance package."""
     series = _policy_series(
-        "highperf", lambda r: r.report.pooled_std_c, thresholds,
-        COMPARED_POLICIES, base)
+        "highperf", lambda r: r.pooled_std_c, thresholds,
+        COMPARED_POLICIES, base, workers)
     return FigureSeries(
         figure="Figure 9",
         title="Standard deviation for the high performance SoCs",
@@ -182,11 +202,12 @@ def figure9(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 
 def figure10(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
-             base: Optional[ExperimentConfig] = None) -> FigureSeries:
+             base: Optional[ExperimentConfig] = None,
+             workers: int = 1) -> FigureSeries:
     """Deadline misses, high-performance package."""
     series = _policy_series(
-        "highperf", lambda r: float(r.report.deadline_misses), thresholds,
-        COMPARED_POLICIES, base)
+        "highperf", lambda r: float(r.deadline_misses), thresholds,
+        COMPARED_POLICIES, base, workers)
     return FigureSeries(
         figure="Figure 10",
         title="Deadline misses for high-performance systems",
@@ -195,14 +216,15 @@ def figure10(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 
 def figure11(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
-             base: Optional[ExperimentConfig] = None) -> FigureSeries:
+             base: Optional[ExperimentConfig] = None,
+             workers: int = 1) -> FigureSeries:
     """Migrations per second of the balancing policy, both packages."""
     xs = [float(t) for t in thresholds]
     series: Dict[str, List[float]] = {}
     for package, label in (("mobile", "embedded mobile"),
                            ("highperf", "high-performance")):
-        matrix = run_matrix(package, thresholds, ("migra",), base)
-        series[label] = [matrix[("migra", t)].report.migrations_per_s
+        matrix = run_matrix(package, thresholds, ("migra",), base, workers)
+        series[label] = [matrix[("migra", t)].migrations_per_s
                          for t in xs]
     return FigureSeries(
         figure="Figure 11",

@@ -1,71 +1,34 @@
 """Assembles and executes one experiment run.
 
-The runner mirrors the paper's protocol (Sec. 5.2): build the 3-core
-MPSoC with the chosen package, start the SDR benchmark on the Table 2
-mapping, run the initial execution phase with the policy disabled until
-temperatures stabilize (12.5 s), then enable the policy and measure for
-the remaining time.  All figure metrics are computed over the
-measurement window only.
+The runner mirrors the paper's protocol (Sec. 5.2): build the MPSoC
+with the chosen package, start the workload on its static mapping, run
+the initial execution phase with the policy disabled until temperatures
+stabilize (12.5 s), then enable the policy and measure for the
+remaining time.  All figure metrics are computed over the measurement
+window only.
+
+System assembly lives in :class:`repro.campaign.builder.SystemBuilder`:
+every component (policy, workload, platform, package) is resolved
+through the scenario registries, so new scenarios plug in without
+touching this module.  Sweeps over many configurations should go
+through :class:`repro.campaign.CampaignRunner`, which parallelizes and
+caches the calls to :func:`run_experiment`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
+from repro.campaign.builder import SystemBuilder, SystemUnderTest
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.migrationstats import MigrationMetrics
 from repro.metrics.qosstats import QoSMetrics
 from repro.metrics.report import RunReport
 from repro.metrics.temperature import TemperatureMetrics
-from repro.mpos.migration import TaskRecreation, TaskReplication
-from repro.mpos.system import MPOS
-from repro.platform.presets import build_chip
-from repro.policies.base import ThermalPolicy
-from repro.policies.energy_balance import EnergyBalancing
-from repro.policies.guard import PanicGuard
-from repro.policies.load_balance import LoadBalancing
-from repro.policies.migra import MigraThermalBalancer
-from repro.policies.stop_go import StopAndGo
-from repro.sim.kernel import Simulator
-from repro.sim.rng import SimRandom
-from repro.sim.trace import TraceRecorder
-from repro.streaming.application import StreamingApplication
-from repro.streaming.sdr_app import build_sdr_application
-from repro.thermal.rc_network import build_network
-from repro.thermal.sensors import ThermalSubsystem
+from repro.policies.registry import make_policy
 
-
-def make_policy(config: ExperimentConfig) -> ThermalPolicy:
-    """Instantiate the policy named in the configuration."""
-    if config.policy == "migra":
-        return MigraThermalBalancer(
-            threshold_c=config.threshold_c, top_k=config.top_k,
-            max_from_hot=config.max_from_hot,
-            max_from_dst=config.max_from_dst,
-            eval_period_s=config.daemon_period_s)
-    if config.policy == "stopgo":
-        return StopAndGo(threshold_c=config.threshold_c)
-    if config.policy == "energy":
-        return EnergyBalancing(threshold_c=config.threshold_c)
-    if config.policy == "load":
-        return LoadBalancing(threshold_c=config.threshold_c)
-    raise ValueError(f"unknown policy {config.policy!r}")
-
-
-@dataclass
-class SystemUnderTest:
-    """Everything one run instantiates (exposed for tests/examples)."""
-
-    config: ExperimentConfig
-    sim: Simulator
-    chip: object
-    mpos: MPOS
-    sensors: ThermalSubsystem
-    app: StreamingApplication
-    policy: ThermalPolicy
-    guard: Optional[PanicGuard]
-    trace: TraceRecorder
+__all__ = ["RunResult", "SystemUnderTest", "build_system", "make_policy",
+           "run_experiment"]
 
 
 @dataclass
@@ -81,43 +44,7 @@ class RunResult:
 
 def build_system(config: ExperimentConfig) -> SystemUnderTest:
     """Construct the full stack for a configuration (not yet run)."""
-    sim = Simulator()
-    trace = TraceRecorder(enabled=config.trace_enabled)
-    chip = build_chip(lambda: sim.now, config.n_cores,
-                      config.platform_config, sim=sim)
-    network = build_network(chip.floorplan, [b.name for b in chip.blocks],
-                            config.package_params,
-                            ambient_c=config.platform_config.ambient_c)
-    sensors = ThermalSubsystem(sim, chip, network,
-                               period_s=config.sensor_period_s, trace=trace,
-                               noise_sigma_c=config.sensor_noise_c,
-                               rng=SimRandom(config.seed).fork(1))
-    strategy = TaskReplication() if config.migration_strategy == "replication" \
-        else TaskRecreation()
-    mpos = MPOS(sim, chip, quantum_s=config.quantum_s, strategy=strategy,
-                daemon_period_s=config.daemon_period_s)
-    app = build_sdr_application(
-        sim, mpos, frame_period_s=config.frame_period_s,
-        queue_capacity=config.queue_capacity,
-        sink_start_delay_frames=config.sink_start_delay_frames,
-        n_bands=config.n_bands, trace=trace,
-        load_jitter=config.load_jitter or None,
-        jitter_seed=config.seed)
-
-    policy = make_policy(config)
-    policy.attach(mpos)
-    sensors.add_listener(policy.on_temperature_update)
-
-    guard: Optional[PanicGuard] = None
-    if config.panic_guard:
-        guard = PanicGuard(panic_temp_c=config.panic_temp_c)
-        guard.attach(mpos)
-        guard.enable(0.0)
-        sensors.add_listener(guard.on_temperature_update)
-
-    return SystemUnderTest(config=config, sim=sim, chip=chip, mpos=mpos,
-                           sensors=sensors, app=app, policy=policy,
-                           guard=guard, trace=trace)
+    return SystemBuilder(config).build()
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.campaign import CampaignRunner
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
 
 
 @dataclass
@@ -47,24 +47,36 @@ class ScalingRow:
 
 def scaling_study(core_counts: Sequence[int] = (2, 3, 4, 5, 6),
                   threshold_c: float = 2.0,
-                  base: Optional[ExperimentConfig] = None) -> List[ScalingRow]:
-    """Run the policy-vs-static comparison for each core count."""
+                  base: Optional[ExperimentConfig] = None,
+                  workers: int = 1) -> List[ScalingRow]:
+    """Run the policy-vs-static comparison for each core count.
+
+    All (core count x policy) runs go through one campaign, so
+    ``workers > 1`` parallelizes the whole study.
+    """
     base = base or ExperimentConfig()
-    rows: List[ScalingRow] = []
+    pairs = []
     for n in core_counts:
         if n < 2:
             raise ValueError("scaling study needs at least 2 cores")
         shape = dict(n_cores=n, n_bands=n, threshold_c=threshold_c)
-        static = run_experiment(base.variant(policy="energy", **shape))
-        balanced = run_experiment(base.variant(policy="migra", **shape))
+        pairs.append((base.variant(policy="energy", **shape),
+                      base.variant(policy="migra", **shape)))
+    campaign = CampaignRunner().run(
+        [cfg for pair in pairs for cfg in pair], name="scaling",
+        workers=workers)
+    rows: List[ScalingRow] = []
+    for n, (static_cfg, balanced_cfg) in zip(core_counts, pairs):
+        static = campaign.report_for(static_cfg)
+        balanced = campaign.report_for(balanced_cfg)
         rows.append(ScalingRow(
             n_cores=n,
-            static_std_c=static.report.pooled_std_c,
-            balanced_std_c=balanced.report.pooled_std_c,
-            static_spread_c=static.report.mean_spread_c,
-            balanced_spread_c=balanced.report.mean_spread_c,
-            migrations_per_s=balanced.report.migrations_per_s,
-            deadline_misses=balanced.report.deadline_misses))
+            static_std_c=static.pooled_std_c,
+            balanced_std_c=balanced.pooled_std_c,
+            static_spread_c=static.mean_spread_c,
+            balanced_spread_c=balanced.mean_spread_c,
+            migrations_per_s=balanced.migrations_per_s,
+            deadline_misses=balanced.deadline_misses))
     return rows
 
 

@@ -12,6 +12,7 @@ from repro.platform.components import BlockKind, HardwareBlock
 from repro.platform.floorplan import Floorplan, Rect
 from repro.platform.frequency import OperatingPoint, OperatingPointTable
 from repro.platform.power import PowerModel, PowerModelParams
+from repro.platform.registry import platform_registry, register_platform
 from repro.platform.presets import (
     CONF1_STREAMING,
     CONF2_ARM11,
@@ -38,4 +39,6 @@ __all__ = [
     "Tile",
     "build_chip",
     "build_floorplan",
+    "platform_registry",
+    "register_platform",
 ]

@@ -1,0 +1,49 @@
+"""Platform registry.
+
+Maps the names accepted by ``ExperimentConfig.platform`` to
+:class:`~repro.platform.presets.PlatformConfig` parameter sets.  The
+paper's two Table 1 configurations are pre-registered; new platforms
+plug in without touching the experiment runner::
+
+    from repro.platform.registry import register_platform
+
+    @register_platform("conf1-lowleak")
+    def _conf1_lowleak():
+        return replace(CONF1_STREAMING, name="Conf1-lowleak", ...)
+
+The floorplan itself is generated for any core count by
+:func:`~repro.platform.presets.build_floorplan`, so a registered
+platform combined with ``ExperimentConfig(n_cores=N)`` yields an N-core
+chip and matching RC thermal network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.presets import (
+    CONF1_STREAMING,
+    CONF2_ARM11,
+    PlatformConfig,
+)
+from repro.registry import Registry, register_value
+
+#: Name -> :class:`PlatformConfig`.
+platform_registry = Registry("platform")
+
+
+def register_platform(name: str,
+                      config: Optional[PlatformConfig] = None):
+    """Register a platform configuration.
+
+    Either directly (``register_platform("x", platform_config)``) or as
+    a decorator on a zero-argument factory, which is evaluated once::
+
+        @register_platform("x")
+        def _x() -> PlatformConfig: ...
+    """
+    return register_value(platform_registry, name, config)
+
+
+register_platform("conf1", CONF1_STREAMING)
+register_platform("conf2", CONF2_ARM11)

@@ -10,6 +10,8 @@ variant and the original panic/timeout variant), a pure
 """
 
 from repro.policies.base import PolicyDecision, ThermalPolicy
+from repro.policies.registry import make_policy, policy_registry, \
+    register_policy
 from repro.policies.energy_balance import EnergyBalancing
 from repro.policies.guard import PanicGuard
 from repro.policies.load_balance import LoadBalancing
@@ -25,4 +27,7 @@ __all__ = [
     "PolicyDecision",
     "StopAndGo",
     "ThermalPolicy",
+    "make_policy",
+    "policy_registry",
+    "register_policy",
 ]

@@ -37,19 +37,28 @@ class Event:
     skipped when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Back-reference while queued, so the simulator's live-event
+        # counter stays exact; cleared when popped or cancelled.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
+            self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -75,6 +84,7 @@ class Simulator:
         self.now: float = float(start_time)
         self._queue: List[Event] = []
         self._seq = 0
+        self._live = 0
         self._running = False
         self._stopped = False
         self._events_executed = 0
@@ -99,8 +109,9 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self.now}")
-        event = Event(float(time), self._seq, callback, args)
+        event = Event(float(time), self._seq, callback, args, sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -114,8 +125,12 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on schedule/cancel/pop, instead of
+        scanning the heap.
+        """
+        return self._live
 
     @property
     def events_executed(self) -> int:
@@ -135,7 +150,9 @@ class Simulator:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
-        self.now = event.time
+        self._live -= 1
+        event._sim = None          # no longer queued; a late cancel()
+        self.now = event.time      # must not touch the counter
         self._events_executed += 1
         event.callback(*event.args)
         return True

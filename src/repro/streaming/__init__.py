@@ -12,6 +12,8 @@ from repro.streaming.frames import Frame, FrameSource, PlaybackSink
 from repro.streaming.graph import SINK, SOURCE, EdgeSpec, StreamGraph, TaskSpec
 from repro.streaming.qos import QoSTracker
 from repro.streaming.application import StreamingApplication
+from repro.streaming.registry import make_workload, register_workload, \
+    workload_registry
 from repro.streaming.sdr_app import (
     SDR_TABLE2_LOADS,
     TABLE2_MAPPING,
@@ -34,4 +36,7 @@ __all__ = [
     "TaskSpec",
     "build_sdr_application",
     "build_sdr_graph",
+    "make_workload",
+    "register_workload",
+    "workload_registry",
 ]

@@ -1,0 +1,59 @@
+"""Workload registry.
+
+Maps the names accepted by ``ExperimentConfig.workload`` to factories
+``factory(sim, mpos, config, trace) -> StreamingApplication``.  The
+paper's SDR benchmark is pre-registered as ``"sdr"``; new streaming
+workloads plug in without touching the experiment runner::
+
+    from repro.streaming.registry import register_workload
+
+    @register_workload("video")
+    def _video(sim, mpos, config, trace):
+        graph = build_video_graph()
+        return StreamingApplication.build(sim, mpos, graph, mapping,
+                                          config.frame_period_s, ...)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.mpos.system import MPOS
+from repro.registry import Registry
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.streaming.application import StreamingApplication
+from repro.streaming.sdr_app import build_sdr_application
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+#: Name -> ``factory(sim, mpos, config, trace) -> StreamingApplication``.
+workload_registry = Registry("workload")
+
+WorkloadFactory = Callable[
+    [Simulator, MPOS, "ExperimentConfig", Optional[TraceRecorder]],
+    StreamingApplication]
+
+
+def register_workload(name: str):
+    """Decorator registering a workload factory under ``name``."""
+    return workload_registry.register(name)
+
+
+def make_workload(sim: Simulator, mpos: MPOS, config: "ExperimentConfig",
+                  trace: Optional[TraceRecorder]) -> StreamingApplication:
+    """Instantiate the workload named in the configuration."""
+    return workload_registry.resolve(config.workload)(sim, mpos, config, trace)
+
+
+@register_workload("sdr")
+def _sdr(sim: Simulator, mpos: MPOS, config: "ExperimentConfig",
+         trace: Optional[TraceRecorder]) -> StreamingApplication:
+    return build_sdr_application(
+        sim, mpos, frame_period_s=config.frame_period_s,
+        queue_capacity=config.queue_capacity,
+        sink_start_delay_frames=config.sink_start_delay_frames,
+        n_bands=config.n_bands, trace=trace,
+        load_jitter=config.load_jitter or None,
+        jitter_seed=config.seed)

@@ -17,12 +17,25 @@ interface:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Tuple
 
 import numpy as np
 from scipy.linalg import expm, lu_factor, lu_solve
 
 from repro.thermal.rc_network import RCNetwork
+
+#: Process-wide propagator cache keyed by (state-matrix digest, dt).
+#: Campaign runs over the same platform/package share the RC network
+#: numerically, so every run after the first skips the ``expm`` — this
+#: is what lets a campaign worker amortize the propagator across runs.
+_SHARED_PROPAGATORS: Dict[Tuple[bytes, float], np.ndarray] = {}
+_SHARED_PROPAGATORS_MAX = 256
+
+
+def clear_propagator_cache() -> None:
+    """Drop the process-wide propagator cache (mainly for tests)."""
+    _SHARED_PROPAGATORS.clear()
 
 
 class ExactIntegrator:
@@ -35,13 +48,26 @@ class ExactIntegrator:
         # -C^-1 K, the state matrix of dT/dt = A T + C^-1 (P + b).
         self._state_matrix = -(network.conductance
                                / network.capacitance[:, None])
+        self._state_digest = hashlib.sha1(
+            self._state_matrix.tobytes()).digest()
 
     def _propagator(self, dt: float) -> np.ndarray:
-        """``expm(A * dt)`` cached per distinct step size."""
+        """``expm(A * dt)`` cached per distinct step size.
+
+        Backed by a process-wide cache keyed on the state matrix, so
+        integrators over identical networks (e.g. the runs of one
+        campaign sweep) compute each matrix exponential once.
+        """
         key = round(float(dt), 12)
         prop = self._propagators.get(key)
         if prop is None:
-            prop = expm(self._state_matrix * float(dt))
+            shared_key = (self._state_digest, key)
+            prop = _SHARED_PROPAGATORS.get(shared_key)
+            if prop is None:
+                prop = expm(self._state_matrix * float(dt))
+                if len(_SHARED_PROPAGATORS) >= _SHARED_PROPAGATORS_MAX:
+                    _SHARED_PROPAGATORS.clear()
+                _SHARED_PROPAGATORS[shared_key] = prop
             self._propagators[key] = prop
         return prop
 

@@ -1,0 +1,37 @@
+"""Thermal package registry.
+
+Maps the names accepted by ``ExperimentConfig.package`` to
+:class:`~repro.thermal.package.ThermalPackageParams`.  The paper's two
+packaging solutions are pre-registered; derived packages (e.g. other
+``speedup`` factors) plug in without touching the experiment runner::
+
+    from repro.thermal.registry import register_package
+
+    register_package("midrange", MOBILE_EMBEDDED.with_speedup(3.0,
+                                                              "midrange"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.registry import Registry, register_value
+from repro.thermal.package import (
+    HIGH_PERFORMANCE,
+    MOBILE_EMBEDDED,
+    ThermalPackageParams,
+)
+
+#: Name -> :class:`ThermalPackageParams`.
+package_registry = Registry("package")
+
+
+def register_package(name: str,
+                     params: Optional[ThermalPackageParams] = None):
+    """Register a package parameter set (directly or via a zero-arg
+    factory decorator, mirroring :func:`register_platform`)."""
+    return register_value(package_registry, name, params)
+
+
+register_package("mobile", MOBILE_EMBEDDED)
+register_package("highperf", HIGH_PERFORMANCE)

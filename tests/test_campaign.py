@@ -1,0 +1,183 @@
+"""Tests for the campaign subsystem: config serialization, the sweep
+spec helpers, the SystemBuilder, and the parallel CampaignRunner."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    SystemBuilder,
+    campaign_registry,
+    expand_campaign,
+    sweep,
+)
+from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.platform.presets import CONF1_STREAMING
+from repro.platform.registry import platform_registry
+
+SHORT = dict(warmup_s=1.5, measure_s=1.5)
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        cfg = ExperimentConfig(policy="stopgo", threshold_c=2.0,
+                               package="highperf", n_cores=4, n_bands=4,
+                               migration_strategy="recreation", seed=7)
+        data = cfg.to_dict()
+        json.dumps(data)                      # plain JSON types only
+        assert ExperimentConfig.from_dict(data) == cfg
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = ExperimentConfig().to_dict()
+        data["mystery_knob"] = 1
+        with pytest.raises(ValueError, match="mystery_knob"):
+            ExperimentConfig.from_dict(data)
+
+    def test_config_is_hashable(self):
+        a = ExperimentConfig(threshold_c=1.0)
+        b = ExperimentConfig(threshold_c=1.0)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_config_hash_stable_and_distinguishing(self):
+        a = ExperimentConfig(threshold_c=1.0)
+        assert a.config_hash() == ExperimentConfig(
+            threshold_c=1.0).config_hash()
+        assert a.config_hash() != ExperimentConfig(
+            threshold_c=2.0).config_hash()
+
+    def test_cache_key_covers_every_field(self):
+        n_fields = len(dataclasses.fields(ExperimentConfig))
+        assert len(ExperimentConfig().cache_key()) == n_fields
+
+
+class TestSweepSpec:
+    def test_cartesian_product(self):
+        configs = sweep(ExperimentConfig(**SHORT),
+                        policy=("energy", "migra"),
+                        threshold_c=(1.0, 2.0, 3.0))
+        assert len(configs) == 6
+        assert {c.policy for c in configs} == {"energy", "migra"}
+        assert all(c.warmup_s == 1.5 for c in configs)
+
+    def test_scalar_pins_a_field(self):
+        configs = sweep(ExperimentConfig(**SHORT), package="highperf",
+                        policy=("energy", "migra"))
+        assert len(configs) == 2
+        assert all(c.package == "highperf" for c in configs)
+
+    def test_named_campaigns_registered(self):
+        assert {"smoke", "threshold-sweep", "fig7", "fig9",
+                "scaling"} <= set(campaign_registry)
+
+    def test_expand_campaign(self):
+        configs = expand_campaign("threshold-sweep",
+                                  ExperimentConfig(**SHORT))
+        assert len(configs) == 2 * 3 * len(THRESHOLD_SWEEP_C)
+        assert {c.package for c in configs} == {"mobile", "highperf"}
+
+    def test_unknown_campaign_lists_names(self):
+        with pytest.raises(ValueError, match="smoke"):
+            expand_campaign("nonsense")
+
+
+class TestSystemBuilder:
+    def test_matches_runner_build_system(self):
+        sut = SystemBuilder(ExperimentConfig(**SHORT)).build()
+        assert sut.chip.n_tiles == 3
+        assert len(sut.app.tasks) == 6
+        assert sut.policy.mpos is sut.mpos
+        assert sut.guard is not None
+
+    def test_override_hook(self):
+        marker = []
+
+        class Probed(SystemBuilder):
+            def build_policy(self):
+                marker.append("policy")
+                return super().build_policy()
+
+        Probed(ExperimentConfig(**SHORT)).build()
+        assert marker == ["policy"]
+
+    def test_eight_core_generated_platform_end_to_end(self):
+        """An 8-core scenario runs via the registries alone (no runner
+        changes): registered platform + generated floorplan/network."""
+        big = dataclasses.replace(CONF1_STREAMING, name="Conf1-8core")
+        with platform_registry.temporarily("conf1-8core", big):
+            cfg = ExperimentConfig(platform="conf1-8core", n_cores=8,
+                                   n_bands=8, policy="migra",
+                                   threshold_c=2.0, **SHORT)
+            result = run_experiment(cfg)
+        assert result.system.chip.n_tiles == 8
+        # 8 cores + per-tile caches/memories + shared mem + package node.
+        assert result.system.sensors.network.n_blocks == 8 * 4 + 1
+        assert len(result.report.core_mean_c) == 8
+        assert result.report.frames_played > 0
+
+
+class TestCampaignRunner:
+    def test_memory_cache_and_dedup(self):
+        runner = CampaignRunner()
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        result = runner.run([cfg, cfg], name="dup")
+        assert len(result.runs) == 2
+        assert result.runs[0].cached is False
+        assert result.runs[1].cached is False     # same simulation, once
+        again = runner.run([cfg], name="again")
+        assert again.runs[0].cached is True
+        assert again.runs[0].report.to_json() == \
+            result.runs[0].report.to_json()
+
+    def test_disk_cache_survives_new_runner(self, tmp_path):
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        first = CampaignRunner(cache_dir=str(tmp_path)).run([cfg])
+        manifest_files = list(tmp_path.glob("*.json"))
+        assert len(manifest_files) == 1
+        manifest = json.loads(manifest_files[0].read_text())
+        assert manifest["config"]["policy"] == "energy"
+        second = CampaignRunner(cache_dir=str(tmp_path)).run([cfg])
+        assert second.runs[0].cached is True
+        assert second.runs[0].report.to_json() == \
+            first.runs[0].report.to_json()
+
+    def test_run_one_uses_cache(self):
+        runner = CampaignRunner()
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        first = runner.run_one(cfg)
+        assert runner.run_one(cfg) is first
+        runner.clear_cache()
+        assert runner.run_one(cfg) is not first
+
+    def test_report_for_unknown_config_raises(self):
+        runner = CampaignRunner()
+        result = runner.run([ExperimentConfig(policy="energy", **SHORT)])
+        with pytest.raises(KeyError):
+            result.report_for(ExperimentConfig(policy="migra", **SHORT))
+
+    def test_result_renderings(self):
+        result = CampaignRunner().run(
+            [ExperimentConfig(policy="energy", **SHORT)], name="render")
+        text = result.to_text()
+        assert "render" in text and "energy-balance" in text
+        manifest = json.loads(result.to_json())
+        assert manifest["runs"][0]["config"]["policy"] == "energy"
+
+    def test_threshold_sweep_parallel_matches_serial_byte_identical(self):
+        """Acceptance: the Fig. 7-style threshold sweep (both packages)
+        through workers>1 equals the serial path byte-for-byte."""
+        configs = expand_campaign("threshold-sweep",
+                                  ExperimentConfig(**SHORT))
+        serial = CampaignRunner(workers=1).run(configs, name="serial")
+        parallel = CampaignRunner(workers=4).run(configs, name="parallel")
+        assert parallel.n_cached == 0
+        serial_json = [run.report.to_json() for run in serial.runs]
+        parallel_json = [run.report.to_json() for run in parallel.runs]
+        assert serial_json == parallel_json
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)

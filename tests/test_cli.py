@@ -96,3 +96,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hottest block" in out
         assert "C]" in out
+
+
+class TestCampaignCommands:
+    def test_campaign_options_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["campaign", "smoke", "--workers", "4",
+                                  "--warmup", "2", "--measure", "2"])
+        assert args.command == "campaign"
+        assert args.name == "smoke"
+        assert args.workers == 4
+
+    def test_sweep_options_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--policies", "migra", "stopgo",
+             "--thresholds", "1", "2", "--packages", "highperf",
+             "--workers", "2"])
+        assert args.policies == ["migra", "stopgo"]
+        assert args.thresholds == [1.0, 2.0]
+        assert args.packages == ["highperf"]
+
+    def test_campaign_lists_names(self, capsys):
+        assert main(["campaign", "--list-campaigns"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "threshold-sweep" in out
+
+    def test_campaign_smoke_runs(self, capsys):
+        assert main(["campaign", "smoke", "--warmup", "2",
+                     "--measure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'smoke': 2 runs" in out
+        assert "energy-balance" in out and "migra" in out
+
+    def test_campaign_cache_dir(self, capsys, tmp_path):
+        argv = ["campaign", "smoke", "--warmup", "2", "--measure", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        capsys.readouterr()
+        assert main(argv) == 0          # second run served from disk
+        assert "(2 cached)" in capsys.readouterr().out
+
+    def test_sweep_json_output(self, capsys):
+        import json
+        assert main(["sweep", "--policies", "energy", "--thresholds", "3",
+                     "--warmup", "2", "--measure", "2", "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["runs"][0]["config"]["policy"] == "energy"
+
+    def test_list_mentions_campaigns(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "threshold-sweep" in out

@@ -217,3 +217,66 @@ class TestPropertyBased:
         sim.run()
         expected = sorted(d for (d, c) in items if not c)
         assert sorted(fired) == expected
+
+class TestPendingEventsCounter:
+    """The live-event counter behind O(1) ``pending_events``."""
+
+    def test_counts_schedule_cancel_pop(self):
+        sim = Simulator()
+        a = sim.schedule(1.0, lambda: None)
+        b = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        assert sim.pending_events == 3
+        a.cancel()
+        assert sim.pending_events == 2
+        sim.step()                      # executes b
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert b.cancelled is False
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_execution_is_noop_for_counter(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        assert sim.pending_events == 1
+        ev.cancel()                     # already executed
+        assert sim.pending_events == 1
+
+    def test_counter_tracks_scheduling_from_callbacks(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(1.0, chain, 5)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_executed == 6
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=50,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=40),
+           st.floats(min_value=0, max_value=60, allow_nan=False))
+    def test_counter_matches_heap_scan(self, items, horizon):
+        sim = Simulator()
+        events = []
+        for delay, cancel in items:
+            events.append((sim.schedule(delay, lambda: None), cancel))
+        for ev, cancel in events:
+            if cancel:
+                ev.cancel()
+        sim.run_until(horizon)
+        scan = sum(1 for e in sim._queue if not e.cancelled)
+        assert sim.pending_events == scan
