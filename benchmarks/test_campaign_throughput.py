@@ -69,3 +69,40 @@ def test_parallel_speedup_over_serial():
         [b.report.to_json() for b in parallel.runs]
     # Loose floor: parallel must not be meaningfully slower than serial.
     assert speedup > 0.7
+
+
+# ----------------------------------------------------------------------
+# backend comparison: per-config fan-out vs network-sharing batches
+# ----------------------------------------------------------------------
+
+#: Two thermal-network groups (conf1 + conf2), four runs each — the
+#: shape the batched backend is built for.
+_MIXED_CONFIGS = sweep(ExperimentConfig(warmup_s=2.0, measure_s=4.0),
+                       platform=("conf1", "conf2"),
+                       policy=("energy", "migra"),
+                       threshold_c=(2.0, 3.0))
+
+
+def test_batched_backend_matches_pool_and_reports_timing():
+    """Wall-clock of process-pool vs batched on a mixed-platform sweep,
+    with the byte-identical parity assertion that makes the backend a
+    pure throughput knob."""
+    t0 = time.perf_counter()
+    pool = CampaignRunner(workers=_PARALLEL_WORKERS,
+                          backend="process-pool").run(
+        _MIXED_CONFIGS, name="backend-compare")
+    t_pool = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = CampaignRunner(workers=_PARALLEL_WORKERS,
+                             backend="batched").run(
+        _MIXED_CONFIGS, name="backend-compare")
+    t_batched = time.perf_counter() - t0
+
+    emit(f"backend comparison: {len(_MIXED_CONFIGS)} runs over 2 "
+         f"thermal-network groups, process-pool {t_pool:.2f}s vs "
+         f"batched {t_batched:.2f}s "
+         f"({t_pool / max(t_batched, 1e-9):.2f}x)")
+    assert pool.to_json() == batched.to_json()
+    # Loose floor only: batch scheduling must not collapse throughput.
+    assert t_batched < 5 * max(t_pool, 0.1)

@@ -32,7 +32,9 @@ architecture.
 from repro.campaign import (
     CampaignResult,
     CampaignRunner,
+    ResultStore,
     SystemBuilder,
+    register_backend,
     register_campaign,
     sweep,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "MPOS",
     "MigraThermalBalancer",
     "PanicGuard",
+    "ResultStore",
     "RunReport",
     "RunResult",
     "SINK",
@@ -99,6 +102,7 @@ __all__ = [
     "figure10",
     "figure11",
     "narrative_sec52",
+    "register_backend",
     "register_campaign",
     "run_experiment",
     "sweep",

@@ -1,22 +1,33 @@
-"""Campaign subsystem: scenario registries + parallel sweep engine.
+"""Campaign subsystem: registries, backends, engine, result store.
 
 Turns the one-shot experiment runner into a scalable experiment
-service.  The pieces:
+service, split into three layers:
 
-* **Registries** (``repro.policies.registry``,
+* **Scenario registries** (``repro.policies.registry``,
   ``repro.streaming.registry``, ``repro.platform.registry``,
   ``repro.thermal.registry``) — decorator-based name -> component maps
   behind every ``ExperimentConfig`` field, so new scenarios plug in
-  without touching the runner.
-* :class:`SystemBuilder` — composable assembly of simulator, N-core
-  chip, RC network, sensors, OS, workload and policy, with per-component
-  override hooks.
-* :class:`CampaignRunner` — fans configurations out over
-  ``multiprocessing``, caches completed runs by config hash (in memory
-  and optionally on disk) and aggregates a :class:`CampaignResult`
-  sweep report.
-* :func:`sweep` / named campaigns — cartesian-product spec helpers and
-  the ``repro campaign <name>`` entries.
+  without touching the runner.  :class:`SystemBuilder` composes the
+  resolved components into a runnable system.
+* **Execution backends** (:mod:`repro.campaign.backends`) — pluggable
+  strategies for *how* a batch of simulations runs: ``serial``,
+  ``process-pool`` (per-config fan-out) and ``batched``
+  (network-sharing groups, one ``expm`` per group per worker).  All
+  backends are byte-identical in their results; they only trade
+  wall-clock time.
+* **Result store** (:mod:`repro.campaign.store`) — a queryable SQLite
+  table of completed runs (one flat row per run, keyed by config hash
+  and campaign name) that doubles as the cross-session cache and the
+  export surface (CSV, legacy JSON manifests).
+
+:class:`CampaignRunner` ties the layers together: dedup by config
+hash, serve cached rows from the store, execute the rest through the
+chosen backend, persist fresh rows back.  :func:`sweep` / named
+campaigns describe the configurations; ``repro campaign``, ``repro
+sweep`` and ``repro results`` are the CLI entry points, and the
+figure/ablation/scaling layers read through :func:`shared_runner` so
+``--cache-dir`` regenerates analyses from stored rows, simulating only
+what is missing.
 
 Adding a scenario end-to-end::
 
@@ -27,14 +38,26 @@ Adding a scenario end-to-end::
     def _factory(config):
         return MyPolicy(threshold_c=config.threshold_c)
 
-    result = CampaignRunner(workers=8).run(
+    result = CampaignRunner(workers=8, backend="batched").run(
         sweep(policy="my-policy", threshold_c=(1.0, 2.0, 3.0, 4.0),
               package=("mobile", "highperf")))
     print(result.to_text())
 """
 
+from repro.campaign.backends import (
+    ExecutionBackend,
+    backend_registry,
+    make_backend,
+    register_backend,
+)
 from repro.campaign.builder import SystemBuilder, SystemUnderTest
-from repro.campaign.engine import CampaignResult, CampaignRun, CampaignRunner
+from repro.campaign.engine import (
+    CampaignResult,
+    CampaignRun,
+    CampaignRunner,
+    clear_shared_runners,
+    shared_runner,
+)
 from repro.campaign.spec import (
     SWEEP_POLICIES,
     campaign_registry,
@@ -42,16 +65,25 @@ from repro.campaign.spec import (
     register_campaign,
     sweep,
 )
+from repro.campaign.store import ResultStore, StoredRun
 
 __all__ = [
     "CampaignResult",
     "CampaignRun",
     "CampaignRunner",
+    "ExecutionBackend",
+    "ResultStore",
     "SWEEP_POLICIES",
+    "StoredRun",
     "SystemBuilder",
     "SystemUnderTest",
+    "backend_registry",
     "campaign_registry",
+    "clear_shared_runners",
     "expand_campaign",
+    "make_backend",
+    "register_backend",
     "register_campaign",
+    "shared_runner",
     "sweep",
 ]

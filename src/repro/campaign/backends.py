@@ -1,0 +1,181 @@
+"""Pluggable campaign execution backends.
+
+An :class:`ExecutionBackend` turns a list of
+:class:`~repro.experiments.config.ExperimentConfig` into the matching
+list of :class:`~repro.metrics.report.RunReport` — nothing more.  The
+caching, dedup and aggregation around it live in
+:class:`~repro.campaign.engine.CampaignRunner`; picking a backend only
+changes *how* the simulations are scheduled, never what they compute:
+runs are deterministic, so every backend produces byte-identical
+reports for the same configs (see the parity tests).
+
+Built-in backends, resolved by name through :data:`backend_registry`:
+
+* ``serial`` — in-process loop; the process-wide propagator cache in
+  :mod:`repro.thermal.integrator` stays warm across all runs.
+* ``process-pool`` — one config per ``multiprocessing`` task,
+  round-robined over workers; best when configs are heterogeneous.
+* ``batched`` — groups configs that share a thermal network (same
+  platform / package / core count) and ships each group to a worker
+  whole, so the RC network's matrix exponential is built once per
+  group instead of once per (worker, network) encounter.  Best for
+  topology-diverse sweeps with many runs per platform.
+
+New backends plug in without touching the runner::
+
+    from repro.campaign.backends import ExecutionBackend, register_backend
+
+    @register_backend("my-cluster")
+    class ClusterBackend(ExecutionBackend):
+        name = "my-cluster"
+        def execute(self, configs, workers):
+            ...
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.metrics.report import RunReport
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+#: Name -> :class:`ExecutionBackend` instance.
+backend_registry = Registry("backend")
+
+
+def register_backend(name: str):
+    """Decorator registering a backend class (instantiated once)."""
+    def decorate(cls):
+        backend_registry.register(name, cls())
+        return cls
+    return decorate
+
+
+def make_backend(name: str) -> "ExecutionBackend":
+    """Resolve a backend by name (helpful error on a typo)."""
+    return backend_registry.resolve(name)
+
+
+class ExecutionBackend:
+    """Strategy for executing a batch of simulations.
+
+    Subclasses implement :meth:`execute`; results must align with the
+    input order.  Backends hold no per-campaign state, so one instance
+    serves every runner.
+    """
+
+    #: Registry name (also shown in campaign summaries).
+    name: str = "abstract"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        """Reports for ``configs``, in order.  ``workers`` is a hint."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _pool_context() -> multiprocessing.context.BaseContext:
+        # Prefer fork where available: workers inherit the parent's
+        # scenario registries, so even configs referencing components
+        # registered at runtime (custom policies, ablation variants)
+        # validate in the worker.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+
+
+def _execute_one(config_dict: Dict) -> Dict:
+    """Worker entry point: one simulation, plain dicts in and out."""
+    # Under a spawn/forkserver start method the worker re-imports from
+    # scratch; pull in the in-repo modules that register extra
+    # scenarios so their names validate.  (Fork workers inherit the
+    # parent's registries and don't need this.)
+    from repro.experiments import ablation, figure1  # noqa: F401
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+    config = ExperimentConfig.from_dict(config_dict)
+    return run_experiment(config).report.to_dict()
+
+
+def _execute_group(config_dicts: List[Dict]) -> List[Dict]:
+    """Worker entry point: one network-sharing group, run in order."""
+    return [_execute_one(d) for d in config_dicts]
+
+
+@register_backend("serial")
+class SerialBackend(ExecutionBackend):
+    """In-process execution, one config after another."""
+
+    name = "serial"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        from repro.experiments.runner import run_experiment
+        return [run_experiment(config).report for config in configs]
+
+
+@register_backend("process-pool")
+class ProcessPoolBackend(ExecutionBackend):
+    """One config per pool task (the classic fan-out)."""
+
+    name = "process-pool"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        if workers <= 1 or len(configs) <= 1:
+            return SerialBackend().execute(configs, workers)
+        with self._pool_context().Pool(min(workers, len(configs))) as pool:
+            dicts = pool.map(_execute_one,
+                             [config.to_dict() for config in configs])
+        return [RunReport(**d) for d in dicts]
+
+
+def network_group_key(config: "ExperimentConfig") -> Tuple:
+    """Grouping key: configs with equal keys share an RC network.
+
+    The network is built from the platform's floorplan/power
+    parameters, the package and the core count, so those three fields
+    decide whether two runs can share the cached matrix exponential.
+    """
+    return (config.platform, config.package, config.n_cores)
+
+
+@register_backend("batched")
+class BatchedBackend(ExecutionBackend):
+    """Network-sharing groups shipped to workers whole.
+
+    Each worker builds the RC network and its ``expm`` propagator once
+    per group (the process-wide integrator cache makes every run after
+    the group's first skip the matrix exponential), instead of paying
+    that cost once per (worker, network) pair as the per-config pool
+    does.  Groups are ordered largest-first so the pool stays busy.
+    """
+
+    name = "batched"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        if workers <= 1 or len(configs) <= 1:
+            return SerialBackend().execute(configs, workers)
+        groups: Dict[Tuple, List[int]] = {}
+        for i, config in enumerate(configs):
+            groups.setdefault(network_group_key(config), []).append(i)
+        batches = sorted(groups.values(), key=len, reverse=True)
+        if len(batches) == 1:
+            # One network: a single batch would serialize everything —
+            # fall back to per-config fan-out (workers stay warm after
+            # their first run anyway).
+            return ProcessPoolBackend().execute(configs, workers)
+        with self._pool_context().Pool(min(workers, len(batches))) as pool:
+            results = pool.map(
+                _execute_group,
+                [[configs[i].to_dict() for i in batch]
+                 for batch in batches])
+        reports: List[RunReport] = [None] * len(configs)  # type: ignore
+        for batch, dicts in zip(batches, results):
+            for i, d in zip(batch, dicts):
+                reports[i] = RunReport(**d)
+        return reports

@@ -1,51 +1,46 @@
-"""Parallel campaign execution with config-hash caching.
+"""Campaign execution: backend fan-out + store-backed caching.
 
-:class:`CampaignRunner` fans a list of
-:class:`~repro.experiments.config.ExperimentConfig` out over a
-``multiprocessing`` pool and aggregates the per-run
-:class:`~repro.metrics.report.RunReport` into a
-:class:`CampaignResult`.  Runs are keyed by
-:meth:`~repro.experiments.config.ExperimentConfig.config_hash`:
+:class:`CampaignRunner` dedups a list of
+:class:`~repro.experiments.config.ExperimentConfig` by
+:meth:`~repro.experiments.config.ExperimentConfig.config_hash`, serves
+already-completed runs from its caches, hands the rest to a pluggable
+:class:`~repro.campaign.backends.ExecutionBackend`, and aggregates the
+per-run :class:`~repro.metrics.report.RunReport` into a
+:class:`CampaignResult`:
 
 * duplicate configs in one campaign simulate once;
-* completed runs are cached in memory (and, with ``cache_dir``, as
-  JSON manifests on disk), so re-running a sweep only simulates the
-  configurations that changed;
-* each worker process keeps the module-level
-  :mod:`~repro.thermal.integrator` propagator cache warm, so runs that
-  share a thermal network and sensor period skip the matrix
-  exponential.
+* completed runs are cached in memory and, with ``cache_dir``, in a
+  queryable :class:`~repro.campaign.store.ResultStore`
+  (``results.sqlite``), so re-running a sweep only simulates the
+  configurations that changed — across processes and sessions;
+* legacy per-run JSON manifests in ``cache_dir`` are read as a
+  fallback (and migrated into the store); corrupt manifests count as
+  cache misses, never errors;
+* the execution strategy is a ``backend`` name (``serial``,
+  ``process-pool``, ``batched``, or anything registered in
+  :data:`~repro.campaign.backends.backend_registry`).
 
-Runs are deterministic, so the parallel path produces byte-identical
-reports to the serial one — ``workers`` is purely a throughput knob.
+Runs are deterministic, so every backend produces byte-identical
+reports — ``backend`` and ``workers`` are purely throughput knobs.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
+from repro.campaign.backends import make_backend
+from repro.campaign.store import ResultStore, load_manifest
 from repro.metrics.report import RunReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.config import ExperimentConfig
 
-
-def _execute(config_dict: Dict) -> Dict:
-    """Worker entry point: one simulation, plain dicts in and out."""
-    # Under a spawn/forkserver start method the worker re-imports from
-    # scratch; pull in the in-repo modules that register extra
-    # scenarios so their names validate.  (Fork workers inherit the
-    # parent's registries and don't need this.)
-    from repro.experiments import ablation, figure1  # noqa: F401
-    from repro.experiments.config import ExperimentConfig
-    from repro.experiments.runner import run_experiment
-    config = ExperimentConfig.from_dict(config_dict)
-    return run_experiment(config).report.to_dict()
+#: The store's filename inside a runner's ``cache_dir``.
+STORE_FILENAME = "results.sqlite"
 
 
 @dataclass
@@ -65,6 +60,7 @@ class CampaignResult:
     runs: List[CampaignRun]
     workers: int
     elapsed_s: float
+    backend: str = "serial"
 
     @property
     def reports(self) -> List[RunReport]:
@@ -91,22 +87,27 @@ class CampaignResult:
         lines = [
             f"campaign {self.name!r}: {len(self.runs)} runs "
             f"({self.n_cached} cached) in {self.elapsed_s:.1f}s "
-            f"with {self.workers} worker(s)",
+            f"with {self.workers} worker(s), {self.backend} backend",
             RunReport.HEADER,
         ]
         lines += [run.report.to_row() for run in self.runs]
         return "\n".join(lines)
 
     def to_manifest(self) -> Dict:
-        """Plain-type manifest (configs + reports) for tooling."""
+        """Plain-type manifest (configs + reports) for tooling.
+
+        Deterministic: execution details (elapsed time, worker count,
+        backend, cache hits) are deliberately excluded, so the same
+        campaign yields byte-identical manifests regardless of how —
+        or whether — its runs were executed: the backend parity
+        guarantee in testable form.  Cache information lives on
+        :class:`CampaignRun` (``cached`` / :attr:`n_cached`).
+        """
         return {
             "name": self.name,
-            "workers": self.workers,
-            "elapsed_s": self.elapsed_s,
             "runs": [{"config_hash": run.config.config_hash(),
                       "config": run.config.to_dict(),
-                      "report": run.report.to_dict(),
-                      "cached": run.cached}
+                      "report": run.report.to_dict()}
                      for run in self.runs],
         }
 
@@ -115,35 +116,62 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Runs experiment configurations in parallel, with caching.
+    """Runs experiment configurations through a backend, with caching.
 
     Parameters
     ----------
     workers:
         Default process count for :meth:`run` (1 = in-process serial).
     cache_dir:
-        Optional directory for persistent per-run JSON manifests
-        (``<config_hash>.json``).  Serves as a cross-process,
-        cross-session cache and as the campaign's result artifact.
+        Optional directory for the persistent
+        :class:`~repro.campaign.store.ResultStore`
+        (``results.sqlite``).  Serves as a cross-process,
+        cross-session cache and as the campaign's queryable result
+        artifact.  Legacy per-run ``<config_hash>.json`` manifests in
+        the directory are honoured and migrated into the store.
+    backend:
+        Execution backend name (default ``process-pool``, which
+        degrades to in-process serial execution when ``workers`` is 1).
+    store:
+        An explicit :class:`ResultStore` (overrides ``cache_dir``'s
+        default store; handy for in-memory stores in tests).
     """
 
     def __init__(self, workers: int = 1,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 backend: str = "process-pool",
+                 store: Optional[ResultStore] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
+        self.backend = make_backend(backend)
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._owns_store = store is None and self.cache_dir is not None
+        if store is not None:
+            self.store: Optional[ResultStore] = store
+        elif self.cache_dir is not None:
+            self.store = ResultStore(self.cache_dir / STORE_FILENAME)
+        else:
+            self.store = None
         self._memory: Dict[str, RunReport] = {}
+
+    def close(self) -> None:
+        """Release the store's database connection (if owned)."""
+        if self.store is not None and self._owns_store:
+            self.store.close()
+            self.store = None
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, configs: Iterable[ExperimentConfig],
             name: str = "campaign",
-            workers: Optional[int] = None) -> CampaignResult:
+            workers: Optional[int] = None,
+            backend: Optional[str] = None) -> CampaignResult:
         """Run every configuration (deduplicated by config hash)."""
         t_start = time.perf_counter()
         n_workers = self.workers if workers is None else int(workers)
+        engine = self.backend if backend is None else make_backend(backend)
         configs = list(configs)
 
         unique: Dict[str, ExperimentConfig] = {}
@@ -158,20 +186,32 @@ class CampaignRunner:
             if report is not None:
                 reports[key] = report
                 hits.add(key)
+                # Record the hit under *this* campaign's name too:
+                # rows are keyed (config_hash, campaign), and a
+                # campaign served entirely from cache must still be
+                # queryable as itself in the store.  Existing rows are
+                # left alone — re-running a fully cached campaign must
+                # not rewrite (and re-fsync) every row.
+                if self.store is not None and \
+                        not self.store.has(key, name):
+                    self.store.put(key, config.to_dict(), report,
+                                   campaign=name)
             else:
                 missing.append((key, config))
 
-        fresh = self._simulate([config for _, config in missing], n_workers)
+        fresh = engine.execute([config for _, config in missing],
+                               n_workers)
         for (key, config), report in zip(missing, fresh):
             reports[key] = report
-            self._store(key, config, report)
+            self._store(key, config, report, campaign=name)
 
         runs = [CampaignRun(config=config,
                             report=reports[config.config_hash()],
                             cached=config.config_hash() in hits)
                 for config in configs]
         return CampaignResult(name=name, runs=runs, workers=n_workers,
-                              elapsed_s=time.perf_counter() - t_start)
+                              elapsed_s=time.perf_counter() - t_start,
+                              backend=engine.name)
 
     def run_one(self, config: ExperimentConfig) -> RunReport:
         """Run (or fetch) a single configuration's report."""
@@ -183,51 +223,72 @@ class CampaignRunner:
             self._store(key, config, report)
         return report
 
-    def _simulate(self, configs: List[ExperimentConfig],
-                  n_workers: int) -> List[RunReport]:
-        if not configs:
-            return []
-        if n_workers <= 1 or len(configs) == 1:
-            from repro.experiments.runner import run_experiment
-            return [run_experiment(config).report for config in configs]
-        # Prefer fork where available: workers inherit the parent's
-        # scenario registries, so even configs referencing components
-        # registered at runtime (custom policies, ablation variants)
-        # validate in the worker.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None)
-        with ctx.Pool(min(n_workers, len(configs))) as pool:
-            dicts = pool.map(_execute,
-                             [config.to_dict() for config in configs])
-        return [RunReport(**d) for d in dicts]
-
     # ------------------------------------------------------------------
     # cache
     # ------------------------------------------------------------------
     def clear_cache(self) -> None:
-        """Drop the in-memory cache (disk manifests are kept)."""
+        """Drop the in-memory cache (the persistent store is kept)."""
         self._memory.clear()
 
     def _cached(self, key: str) -> Optional[RunReport]:
         report = self._memory.get(key)
         if report is not None:
             return report
+        if self.store is not None:
+            report = self.store.get(key)
+            if report is not None:
+                self._memory[key] = report
+                return report
         if self.cache_dir is not None:
+            # Legacy per-run manifest fallback: parse tolerantly (a
+            # corrupt/truncated file is a miss) and migrate hits into
+            # the store so the next lookup is one SQL query.
             path = self.cache_dir / f"{key}.json"
             if path.is_file():
-                manifest = json.loads(path.read_text())
-                report = RunReport(**manifest["report"])
+                parsed = load_manifest(path)
+                if parsed is None:
+                    return None
+                _, config_dict, report = parsed
+                if self.store is not None:
+                    self.store.put(key, config_dict, report,
+                                   campaign="imported")
                 self._memory[key] = report
                 return report
         return None
 
     def _store(self, key: str, config: ExperimentConfig,
-               report: RunReport) -> None:
+               report: RunReport, campaign: str = "adhoc") -> None:
         self._memory[key] = report
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            manifest = {"config_hash": key, "config": config.to_dict(),
-                        "report": report.to_dict()}
-            path = self.cache_dir / f"{key}.json"
-            path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        if self.store is not None:
+            self.store.put(key, config.to_dict(), report,
+                           campaign=campaign)
+
+
+# ----------------------------------------------------------------------
+# shared runners (the figure/ablation/scaling read-through path)
+# ----------------------------------------------------------------------
+_SHARED_RUNNERS: Dict[Tuple[Optional[str], str], CampaignRunner] = {}
+
+
+def shared_runner(cache_dir: Optional[str] = None,
+                  backend: str = "process-pool") -> CampaignRunner:
+    """A process-wide runner per (cache_dir, backend) pair.
+
+    The analysis layers (figures, ablations, scaling) all read through
+    these, so e.g. Fig. 7 and Fig. 8 — same sweep, different metric —
+    share one in-memory cache, and a ``--cache-dir`` makes every layer
+    serve prior sessions' rows from the same persistent store.
+    """
+    key = (str(cache_dir) if cache_dir else None, backend)
+    runner = _SHARED_RUNNERS.get(key)
+    if runner is None:
+        runner = CampaignRunner(cache_dir=cache_dir, backend=backend)
+        _SHARED_RUNNERS[key] = runner
+    return runner
+
+
+def clear_shared_runners() -> None:
+    """Drop the shared runners, closing their store connections."""
+    for runner in _SHARED_RUNNERS.values():
+        runner.close()
+    _SHARED_RUNNERS.clear()

@@ -1,0 +1,277 @@
+"""Queryable campaign result store (SQLite).
+
+:class:`ResultStore` persists one row per completed run, keyed by
+``(config_hash, campaign)``, with every metric of
+:meth:`~repro.metrics.report.RunReport.to_record` as its own column —
+so completed sweeps can be listed, filtered and exported without
+re-running or re-aggregating anything:
+
+* :class:`~repro.campaign.engine.CampaignRunner` caches through the
+  store (``cache_dir`` puts ``results.sqlite`` there), making it the
+  cross-session cache *and* the queryable result artifact;
+* the figure/ablation/scaling layers read through it, so
+  ``repro fig7 --cache-dir DIR`` only simulates configs with no stored
+  row;
+* ``repro results`` lists campaigns, shows/filters runs and exports
+  CSV; :meth:`ResultStore.import_manifests` /
+  :meth:`ResultStore.export_manifests` round-trip the pre-store
+  per-run JSON manifests for back-compat.
+
+The schema is derived from the flat record, so adding a metric to
+:class:`~repro.metrics.report.RunReport` extends the store
+automatically (existing databases are migrated by ``ALTER TABLE`` on
+open).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.report import RunReport
+
+#: Python value type -> SQLite column affinity for record columns.
+_AFFINITY = {int: "INTEGER", float: "REAL", str: "TEXT", bool: "INTEGER"}
+
+
+def _record_schema() -> List[Tuple[str, str]]:
+    """``(column, sql_type)`` pairs of the flat RunReport record."""
+    reference = RunReport(policy="", package="", threshold_c=0.0,
+                          duration_s=0.0).to_record()
+    return [(name, _AFFINITY.get(type(value), "TEXT"))
+            for name, value in reference.items()]
+
+
+@dataclass
+class StoredRun:
+    """One persisted run: identity, configuration and report."""
+
+    config_hash: str
+    campaign: str
+    config: Dict
+    report: RunReport
+
+
+class ResultStore:
+    """SQLite-backed store of campaign run results.
+
+    Parameters
+    ----------
+    path:
+        Database file (created, with parent directories, on first
+        write).  ``":memory:"`` gives an ephemeral store for tests.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._columns = [name for name, _ in _record_schema()]
+        self._create_schema()
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    def _create_schema(self) -> None:
+        metric_cols = ", ".join(f'"{name}" {sql_type}'
+                                for name, sql_type in _record_schema())
+        self._conn.execute(
+            f"CREATE TABLE IF NOT EXISTS runs ("
+            f"config_hash TEXT NOT NULL, "
+            f"campaign TEXT NOT NULL, "
+            f"config TEXT NOT NULL, "
+            f"{metric_cols}, "
+            f"PRIMARY KEY (config_hash, campaign))")
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_runs_campaign "
+            "ON runs (campaign)")
+        # Forward migration: add columns new RunReport fields introduce.
+        existing = {row[1] for row in
+                    self._conn.execute("PRAGMA table_info(runs)")}
+        for name, sql_type in _record_schema():
+            if name not in existing:
+                self._conn.execute(
+                    f'ALTER TABLE runs ADD COLUMN "{name}" {sql_type}')
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, config_hash: str, config: Dict, report: RunReport,
+            campaign: str = "adhoc") -> None:
+        """Insert (or replace) one run row."""
+        record = report.to_record()
+        columns = ["config_hash", "campaign", "config"] + self._columns
+        values = [config_hash, campaign,
+                  json.dumps(config, sort_keys=True)]
+        values += [record[name] for name in self._columns]
+        placeholders = ", ".join("?" for _ in columns)
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        self._conn.execute(
+            f"INSERT OR REPLACE INTO runs ({quoted}) "
+            f"VALUES ({placeholders})", values)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, config_hash: str) -> Optional[RunReport]:
+        """The stored report for a config hash (any campaign), if any."""
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE config_hash = ? LIMIT 1",
+            (config_hash,)).fetchone()
+        if row is None:
+            return None
+        return RunReport.from_record({name: row[name]
+                                      for name in self._columns})
+
+    def __contains__(self, config_hash: str) -> bool:
+        return self.get(config_hash) is not None
+
+    def has(self, config_hash: str, campaign: str) -> bool:
+        """True if a row exists for this exact (hash, campaign) key."""
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE config_hash = ? AND campaign = ? "
+            "LIMIT 1", (config_hash, campaign)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return int(self._conn.execute(
+            "SELECT COUNT(*) FROM runs").fetchone()[0])
+
+    def campaigns(self) -> List[Tuple[str, int]]:
+        """``(campaign, run_count)`` pairs, alphabetical."""
+        rows = self._conn.execute(
+            "SELECT campaign, COUNT(*) FROM runs "
+            "GROUP BY campaign ORDER BY campaign").fetchall()
+        return [(row[0], int(row[1])) for row in rows]
+
+    def runs(self, campaign: Optional[str] = None,
+             where: Optional[str] = None,
+             limit: Optional[int] = None) -> List[StoredRun]:
+        """Stored runs, optionally filtered.
+
+        ``where`` is a raw SQL condition over the record columns
+        (e.g. ``"peak_c > 70 AND policy = 'migra'"``) — the store is a
+        local artifact, so the query surface is deliberately plain SQL.
+        """
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if campaign is not None:
+            clauses.append("campaign = ?")
+            params.append(campaign)
+        if where:
+            clauses.append(f"({where})")
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY campaign, config_hash"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        out = []
+        for row in self._conn.execute(query, params):
+            report = RunReport.from_record(
+                {name: row[name] for name in self._columns})
+            out.append(StoredRun(config_hash=row["config_hash"],
+                                 campaign=row["campaign"],
+                                 config=json.loads(row["config"]),
+                                 report=report))
+        return out
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def export_csv(self, path: Optional[str] = None,
+                   campaign: Optional[str] = None,
+                   where: Optional[str] = None) -> str:
+        """CSV of every stored run: identity + all record columns.
+
+        Returns the CSV text; with ``path`` it is also written there.
+        Every metric column of :meth:`RunReport.to_record` appears, so
+        ``RunReport.from_record`` on a parsed row rebuilds the report.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["config_hash", "campaign"] + self._columns)
+        for run in self.runs(campaign=campaign, where=where):
+            record = run.report.to_record()
+            writer.writerow([run.config_hash, run.campaign]
+                            + [record[name] for name in self._columns])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def export_manifests(self, directory: str,
+                         campaign: Optional[str] = None,
+                         where: Optional[str] = None) -> int:
+        """Write one legacy ``<config_hash>.json`` manifest per config.
+
+        Back-compat with pre-store tooling; accepts the same filters
+        as :meth:`runs`.  Manifests are keyed by config hash alone, so
+        a config stored under several campaigns yields one file;
+        returns the count of files written.
+        """
+        out_dir = Path(directory)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = set()
+        for run in self.runs(campaign=campaign, where=where):
+            if run.config_hash in written:
+                continue
+            manifest = {"config_hash": run.config_hash,
+                        "config": run.config,
+                        "report": run.report.to_dict()}
+            (out_dir / f"{run.config_hash}.json").write_text(
+                json.dumps(manifest, indent=2, sort_keys=True))
+            written.add(run.config_hash)
+        return len(written)
+
+    def import_manifests(self, directory: str,
+                         campaign: str = "imported") -> Tuple[int, int]:
+        """Load legacy per-run JSON manifests into the store.
+
+        Corrupt or truncated manifests are skipped, not fatal — a
+        damaged cache entry is just a future cache miss.  Returns
+        ``(imported, skipped)``.
+        """
+        imported = skipped = 0
+        for path in sorted(Path(directory).glob("*.json")):
+            parsed = load_manifest(path)
+            if parsed is None:
+                skipped += 1
+                continue
+            config_hash, config, report = parsed
+            self.put(config_hash, config, report, campaign=campaign)
+            imported += 1
+        return imported, skipped
+
+
+def load_manifest(path) -> Optional[Tuple[str, Dict, RunReport]]:
+    """Parse one per-run JSON manifest; ``None`` if damaged.
+
+    Tolerates truncated files, invalid JSON and missing/malformed
+    keys — every failure mode of a corrupted cache entry maps to a
+    cache miss rather than an exception.
+    """
+    try:
+        manifest = json.loads(Path(path).read_text())
+        config_hash = manifest.get("config_hash") or Path(path).stem
+        report = RunReport(**manifest["report"])
+        return str(config_hash), dict(manifest["config"]), report
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

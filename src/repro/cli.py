@@ -14,20 +14,30 @@ Regenerate any table or figure of the paper::
 
 Sweep many configurations through the campaign engine::
 
-    repro campaign threshold-sweep --workers 8
+    repro campaign threshold-sweep --workers 8 --backend batched
         Run a named campaign (see ``repro campaign --list-campaigns``
         or ``repro list``): ``smoke`` (2-run CI check), ``fig7`` /
         ``fig9`` (the paper's threshold sweeps), ``threshold-sweep``
         (both packages), ``scaling`` (2-6 cores).  ``--warmup`` /
-        ``--measure`` shorten the phases, ``--cache-dir`` persists
-        per-run JSON manifests keyed by config hash (re-running a
-        campaign only simulates what changed), ``--json`` emits the
-        aggregated manifest instead of the table.
+        ``--measure`` shorten the phases, ``--backend`` picks the
+        execution strategy (``serial``, ``process-pool``,
+        ``batched``), ``--cache-dir`` persists completed runs in a
+        queryable SQLite result store (re-running a campaign only
+        simulates what changed), ``--json`` emits the aggregated
+        manifest instead of the table.
 
     repro sweep --policies migra stopgo --thresholds 1 2 3 4 \\
                 --packages mobile highperf --workers 8
         Ad-hoc cartesian sweep (policies x thresholds x packages x
         platforms) through the same engine.
+
+Query and export completed runs from a result store::
+
+    repro results list --cache-dir DIR
+    repro results show --cache-dir DIR --campaign fig7 \\
+                       --where "peak_c > 70"
+    repro results export --cache-dir DIR --csv out.csv
+    repro results import --cache-dir DIR LEGACY_MANIFEST_DIR
 
 New scenarios (policies, workloads, platforms, packages) register via
 the decorators in ``repro.*.registry`` and are then directly runnable
@@ -42,8 +52,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.campaign import CampaignRunner, campaign_registry, \
-    expand_campaign, sweep
+from repro.campaign import CampaignRunner, ResultStore, backend_registry, \
+    campaign_registry, expand_campaign, sweep
+from repro.campaign.engine import STORE_FILENAME
 from repro.experiments import ablation as ablation_mod
 from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
 from repro.experiments.figures import (
@@ -58,6 +69,7 @@ from repro.experiments.narrative import narrative_sec52
 from repro.experiments.runner import run_experiment
 from repro.experiments.tables import table1, table2
 from repro.metrics.report import RunReport
+from repro.platform.registry import platform_registry
 
 _FIGURES = {
     "fig2": figure2,
@@ -82,6 +94,8 @@ _EXPERIMENTS = (
     "run: one custom run (see --help)",
     "campaign: run a named campaign through the parallel engine",
     "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
+    "results: query/export a campaign result store (list, show, "
+    "export, import)",
     "ablation: design-choice studies (candidate-filter, top-k, strategy, "
     "queue-capacity, sensor-period, stopgo-variant, platform)",
     "scaling: core-count scaling study (extension)",
@@ -110,6 +124,17 @@ def _add_workers_option(p: argparse.ArgumentParser) -> None:
                    help="worker processes for the sweep (default 1)")
 
 
+def _add_engine_options(p: argparse.ArgumentParser) -> None:
+    """The campaign-engine knobs every sweep command shares."""
+    _add_workers_option(p)
+    p.add_argument("--backend", default="process-pool",
+                   choices=backend_registry.names(),
+                   help="execution backend (default process-pool)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persist completed runs in DIR's SQLite result "
+                        "store; re-runs only simulate missing configs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -126,7 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         if name != "fig2":
             _add_phase_options(p)
-            _add_workers_option(p)
+            _add_engine_options(p)
 
     p = sub.add_parser("narrative", help="measure the Sec. 5.2 claims")
     p.add_argument("--threshold", type=float, default=3.0)
@@ -138,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--package", default="mobile",
                    choices=("mobile", "highperf"))
     p.add_argument("--platform", default="conf1",
-                   choices=("conf1", "conf2"))
+                   choices=platform_registry.names())
     p.add_argument("--strategy", default="replication",
                    choices=("replication", "recreation"))
     p.add_argument("--warmup", type=float, default=None)
@@ -158,10 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-campaigns", action="store_true",
                    help="list registered campaigns and exit")
     _add_phase_options(p)
-    _add_workers_option(p)
-    p.add_argument("--cache-dir", metavar="DIR", default=None,
-                   help="persist per-run JSON manifests keyed by "
-                        "config hash")
+    _add_engine_options(p)
     p.add_argument("--json", action="store_true",
                    help="emit the aggregated manifest as JSON")
 
@@ -177,19 +199,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platforms", nargs="+", default=["conf1"],
                    metavar="PLAT")
     _add_phase_options(p)
-    _add_workers_option(p)
-    p.add_argument("--cache-dir", metavar="DIR", default=None)
+    _add_engine_options(p)
     p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("ablation", help="run an ablation study")
     p.add_argument("name", choices=sorted(ablation_mod.ALL_ABLATIONS))
-    _add_workers_option(p)
+    _add_engine_options(p)
 
     p = sub.add_parser("scaling",
                        help="core-count scaling study (extension)")
     p.add_argument("--cores", type=int, nargs="+", default=[2, 3, 4, 5])
     p.add_argument("--threshold", type=float, default=2.0)
-    _add_workers_option(p)
+    _add_engine_options(p)
+
+    p = sub.add_parser("results",
+                       help="query a campaign result store")
+    results_sub = p.add_subparsers(dest="results_command", required=True)
+    for sub_name, sub_help in (
+            ("list", "list stored campaigns with run counts"),
+            ("show", "print stored runs as a table"),
+            ("export", "export stored runs (CSV or JSON manifests)"),
+            ("import", "import legacy per-run JSON manifests")):
+        rp = results_sub.add_parser(sub_name, help=sub_help)
+        rp.add_argument("--cache-dir", metavar="DIR", required=True,
+                        help="directory holding the result store "
+                             f"({STORE_FILENAME})")
+        if sub_name in ("show", "export"):
+            rp.add_argument("--campaign", default=None,
+                            help="restrict to one campaign")
+            rp.add_argument("--where", default=None, metavar="SQL",
+                            help="SQL filter over the metric columns, "
+                                 "e.g. \"peak_c > 70\"")
+        if sub_name == "show":
+            rp.add_argument("--limit", type=int, default=None)
+        if sub_name == "export":
+            rp.add_argument("--csv", nargs="?", const="-", default=None,
+                            metavar="PATH",
+                            help="write CSV to PATH (default stdout)")
+            rp.add_argument("--manifest-dir", metavar="DIR", default=None,
+                            help="write legacy per-run JSON manifests")
+        if sub_name == "import":
+            rp.add_argument("manifest_dir", metavar="MANIFEST_DIR",
+                            help="directory of <config_hash>.json files")
+            rp.add_argument("--campaign", default="imported",
+                            help="campaign name for the imported rows")
 
     p = sub.add_parser("thermal-map",
                        help="ASCII die temperature map (grid model)")
@@ -241,7 +294,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             base = _base_config(args)
             print(_FIGURES[args.command](
-                THRESHOLD_SWEEP_C, base, workers=args.workers).to_text())
+                THRESHOLD_SWEEP_C, base, workers=args.workers,
+                cache_dir=args.cache_dir,
+                backend=args.backend).to_text())
         return 0
     if args.command == "narrative":
         print(narrative_sec52(threshold_c=args.threshold).to_text())
@@ -281,7 +336,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         runner = CampaignRunner(workers=args.workers,
-                                cache_dir=args.cache_dir)
+                                cache_dir=args.cache_dir,
+                                backend=args.backend)
         result = runner.run(configs, name=args.name)
         print(result.to_json() if args.json else result.to_text())
         return 0
@@ -296,21 +352,28 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         runner = CampaignRunner(workers=args.workers,
-                                cache_dir=args.cache_dir)
+                                cache_dir=args.cache_dir,
+                                backend=args.backend)
         result = runner.run(configs, name="sweep")
         print(result.to_json() if args.json else result.to_text())
         return 0
     if args.command == "ablation":
-        rows = ablation_mod.ALL_ABLATIONS[args.name](workers=args.workers)
+        rows = ablation_mod.ALL_ABLATIONS[args.name](
+            workers=args.workers, cache_dir=args.cache_dir,
+            backend=args.backend)
         print(ablation_mod.render(f"Ablation: {args.name}", rows))
         return 0
     if args.command == "scaling":
         from repro.experiments import scaling
         rows = scaling.scaling_study(core_counts=tuple(args.cores),
                                      threshold_c=args.threshold,
-                                     workers=args.workers)
+                                     workers=args.workers,
+                                     cache_dir=args.cache_dir,
+                                     backend=args.backend)
         print(scaling.render(rows))
         return 0
+    if args.command == "results":
+        return _dispatch_results(args)
     if args.command == "thermal-map":
         from repro.experiments.thermal_map import thermal_map
         cfg = ExperimentConfig(policy=args.policy,
@@ -322,6 +385,67 @@ def _dispatch(args: argparse.Namespace) -> int:
               f"hottest block {result.hottest_block}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_results(args: argparse.Namespace) -> int:
+    """The ``repro results`` subcommands against one store."""
+    from pathlib import Path
+    store_path = Path(args.cache_dir) / STORE_FILENAME
+    if args.results_command != "import" and not store_path.is_file():
+        print(f"error: no result store at {store_path}", file=sys.stderr)
+        return 2
+    store = ResultStore(store_path)
+
+    if args.results_command == "list":
+        campaigns = store.campaigns()
+        if not campaigns:
+            print("store is empty")
+            return 0
+        print(f"{'campaign':<24}{'runs':>6}")
+        for name, count in campaigns:
+            print(f"{name:<24}{count:>6d}")
+        print(f"{'total':<24}{len(store):>6d}")
+        return 0
+
+    if args.results_command == "show":
+        runs = store.runs(campaign=args.campaign, where=args.where,
+                          limit=args.limit)
+        print(f"{'campaign':<18}{'hash':<22}{RunReport.HEADER}")
+        for run in runs:
+            print(f"{run.campaign:<18}{run.config_hash:<22}"
+                  f"{run.report.to_row()}")
+        print(f"{len(runs)} run(s)")
+        return 0
+
+    if args.results_command == "export":
+        if args.csv is None and args.manifest_dir is None:
+            print("error: pass --csv [PATH] and/or --manifest-dir DIR",
+                  file=sys.stderr)
+            return 2
+        if args.csv is not None:
+            text = store.export_csv(
+                path=None if args.csv == "-" else args.csv,
+                campaign=args.campaign, where=args.where)
+            if args.csv == "-":
+                sys.stdout.write(text)
+            else:
+                print(f"CSV written to {args.csv}")
+        if args.manifest_dir is not None:
+            count = store.export_manifests(args.manifest_dir,
+                                           campaign=args.campaign,
+                                           where=args.where)
+            print(f"{count} manifest(s) written to {args.manifest_dir}")
+        return 0
+
+    if args.results_command == "import":
+        imported, skipped = store.import_manifests(
+            args.manifest_dir, campaign=args.campaign)
+        print(f"imported {imported} run(s), skipped {skipped} "
+              f"damaged manifest(s) into {store_path}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled results command {args.results_command!r}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,9 @@ each piece is measurable:
 The policy variants (no-condition-2 Migra, the original Stop&Go) are
 registered policies in their own right — each ablation is just a list
 of configurations driven through the shared campaign engine, so
-``repro ablation <name> --workers N`` parallelizes it.
+``repro ablation <name> --workers N`` parallelizes it, ``--backend``
+picks the execution backend, and ``--cache-dir`` reads previously
+simulated rows from the persistent result store.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.campaign import CampaignRunner
+from repro.campaign import shared_runner
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.report import RunReport
 from repro.policies.migra import MigraThermalBalancer
@@ -50,14 +52,14 @@ class AblationRow:
                 f"migr/s={self.migrations_per_s:5.2f}")
 
 
-_ENGINE = CampaignRunner()
-
-
-def _rows(labelled: Sequence[tuple], workers: int = 1) -> List[AblationRow]:
+def _rows(labelled: Sequence[tuple], workers: int = 1,
+cache_dir: Optional[str] = None,
+backend: str = "process-pool") -> List[AblationRow]:
     """Run ``(label, config)`` pairs through the campaign engine."""
     labels = [label for label, _ in labelled]
     configs = [config for _, config in labelled]
-    result = _ENGINE.run(configs, name="ablation", workers=workers)
+    result = shared_runner(cache_dir, backend).run(
+        configs, name="ablation", workers=workers)
     return [AblationRow(label=label,
                         pooled_std_c=report.pooled_std_c,
                         spatial_std_c=report.spatial_std_c,
@@ -111,50 +113,61 @@ def _stopgo_original(config: ExperimentConfig) -> StopAndGo:
 def ablation_candidate_filter(base: Optional[ExperimentConfig] = None,
                               threshold_c: float = 2.0,
                               package: str = "highperf",
-                              workers: int = 1) -> List[AblationRow]:
+                              workers: int = 1,
+                              cache_dir: Optional[str] = None,
+                              backend: str = "process-pool",
+                              ) -> List[AblationRow]:
     """Full policy vs condition-2-free variant."""
     base = base or ExperimentConfig()
     cfg = base.variant(policy="migra", threshold_c=threshold_c,
                        package=package)
     return _rows([("full policy", cfg),
                   ("without condition 2", cfg.variant(
-                      policy="migra-nocond2"))], workers)
+                      policy="migra-nocond2"))], workers, cache_dir, backend)
 
 
 def ablation_top_k(base: Optional[ExperimentConfig] = None,
                    values: Sequence[int] = (1, 2, 3),
                    threshold_c: float = 2.0,
-                   workers: int = 1) -> List[AblationRow]:
+                   workers: int = 1,
+                   cache_dir: Optional[str] = None,
+                   backend: str = "process-pool") -> List[AblationRow]:
     """Phase-2 search width (the paper prunes to the top few loads)."""
     base = base or ExperimentConfig()
     return _rows([(f"top_k={k}",
                    base.variant(policy="migra", threshold_c=threshold_c,
                                 top_k=k))
-                  for k in values], workers)
+                  for k in values], workers, cache_dir, backend)
 
 
 def ablation_strategy(base: Optional[ExperimentConfig] = None,
                       threshold_c: float = 2.0,
-                      workers: int = 1) -> List[AblationRow]:
+                      workers: int = 1,
+                      cache_dir: Optional[str] = None,
+                      backend: str = "process-pool") -> List[AblationRow]:
     """Replication vs recreation with the full policy running."""
     base = base or ExperimentConfig()
     return _rows([(strategy,
                    base.variant(policy="migra", threshold_c=threshold_c,
                                 migration_strategy=strategy))
-                  for strategy in ("replication", "recreation")], workers)
+                  for strategy in ("replication", "recreation")],
+                 workers, cache_dir, backend)
 
 
 def ablation_queue_capacity(base: Optional[ExperimentConfig] = None,
                             capacities: Sequence[int] = (2, 4, 6, 8, 11),
                             policy: str = "stopgo",
                             threshold_c: float = 3.0,
-                            workers: int = 1) -> List[AblationRow]:
+                            workers: int = 1,
+                            cache_dir: Optional[str] = None,
+                            backend: str = "process-pool",
+                            ) -> List[AblationRow]:
     """Pipeline buffering against stalls (Sec. 5.2's queue discussion)."""
     base = base or ExperimentConfig()
     return _rows([(f"capacity={cap}",
                    base.variant(policy=policy, threshold_c=threshold_c,
                                 queue_capacity=cap))
-                  for cap in capacities], workers)
+                  for cap in capacities], workers, cache_dir, backend)
 
 
 def ablation_sensor_period(base: Optional[ExperimentConfig] = None,
@@ -162,21 +175,25 @@ def ablation_sensor_period(base: Optional[ExperimentConfig] = None,
                                                          0.1),
                            threshold_c: float = 2.0,
                            package: str = "highperf",
-                           workers: int = 1) -> List[AblationRow]:
+                           workers: int = 1,
+                           cache_dir: Optional[str] = None,
+                           backend: str = "process-pool") -> List[AblationRow]:
     """Sensor rate: slower monitoring loosens the balance the policy
     can hold, especially on the fast package."""
     base = base or ExperimentConfig()
     return _rows([(f"sensor={1000 * period:.0f}ms",
                    base.variant(policy="migra", threshold_c=threshold_c,
                                 package=package, sensor_period_s=period))
-                  for period in periods_s], workers)
+                  for period in periods_s], workers, cache_dir, backend)
 
 
 def ablation_sensor_noise(base: Optional[ExperimentConfig] = None,
                           sigmas_c: Sequence[float] = (0.0, 0.25, 0.5,
                                                        1.0, 2.0),
                           threshold_c: float = 2.0,
-                          workers: int = 1) -> List[AblationRow]:
+                          workers: int = 1,
+                          cache_dir: Optional[str] = None,
+                          backend: str = "process-pool") -> List[AblationRow]:
     """Robustness to sensor noise: the policy reads noisy temperatures
     while the metrics measure ground truth.  Balance should degrade
     gracefully, with noise comparable to the threshold causing spurious
@@ -185,13 +202,15 @@ def ablation_sensor_noise(base: Optional[ExperimentConfig] = None,
     return _rows([(f"noise={sigma:.2f}C",
                    base.variant(policy="migra", threshold_c=threshold_c,
                                 sensor_noise_c=sigma))
-                  for sigma in sigmas_c], workers)
+                  for sigma in sigmas_c], workers, cache_dir, backend)
 
 
 def ablation_load_jitter(base: Optional[ExperimentConfig] = None,
                          jitters: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
                          threshold_c: float = 2.0,
-                         workers: int = 1) -> List[AblationRow]:
+                         workers: int = 1,
+                         cache_dir: Optional[str] = None,
+                         backend: str = "process-pool") -> List[AblationRow]:
     """Data-dependent workload: per-frame cycle costs vary by +-j while
     the policy plans with the nominal loads.  Balance and QoS should
     hold for realistic variation levels."""
@@ -199,24 +218,30 @@ def ablation_load_jitter(base: Optional[ExperimentConfig] = None,
     return _rows([(f"jitter=+-{100 * jitter:.0f}%",
                    base.variant(policy="migra", threshold_c=threshold_c,
                                 load_jitter=jitter))
-                  for jitter in jitters], workers)
+                  for jitter in jitters], workers, cache_dir, backend)
 
 
 def ablation_stopgo_variant(base: Optional[ExperimentConfig] = None,
                             threshold_c: float = 3.0,
-                            workers: int = 1) -> List[AblationRow]:
+                            workers: int = 1,
+                            cache_dir: Optional[str] = None,
+                            backend: str = "process-pool",
+                            ) -> List[AblationRow]:
     """The paper's modified Stop&Go (relative thresholds) vs the
     original (absolute panic temperature + resume timeout, [5])."""
     base = base or ExperimentConfig()
     cfg = base.variant(policy="stopgo", threshold_c=threshold_c)
     return _rows([("modified (relative band)", cfg),
                   ("original (panic 72C + 1s timeout)",
-                   cfg.variant(policy="stopgo-original"))], workers)
+                   cfg.variant(policy="stopgo-original"))],
+                 workers, cache_dir, backend)
 
 
 def ablation_platform(base: Optional[ExperimentConfig] = None,
                       threshold_c: float = 3.0,
-                      workers: int = 1) -> List[AblationRow]:
+                      workers: int = 1,
+                      cache_dir: Optional[str] = None,
+                      backend: str = "process-pool") -> List[AblationRow]:
     """Conf1 (streaming cores, 0.5 W) vs Conf2 (ARM11-class, 0.27 W)
     under the full policy — lower-power cores leave a smaller gradient
     to balance in the first place."""
@@ -231,7 +256,7 @@ def ablation_platform(base: Optional[ExperimentConfig] = None,
                          base.variant(policy="energy",
                                       threshold_c=threshold_c,
                                       platform=platform)))
-    return _rows(labelled, workers)
+    return _rows(labelled, workers, cache_dir, backend)
 
 
 def render(title: str, rows: List[AblationRow]) -> str:

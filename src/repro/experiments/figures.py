@@ -4,8 +4,11 @@ Each ``figureN()`` returns a :class:`FigureSeries` — the series the
 paper plots.  The simulation sweeps behind Figs. 7-11 are driven
 through a shared :class:`~repro.campaign.CampaignRunner`, whose
 config-hash cache ensures that e.g. Fig. 7 and Fig. 8 (same runs,
-different metric) do not simulate twice, and whose ``workers`` knob
-parallelizes a sweep (``repro fig7 --workers 8``).
+different metric) do not simulate twice, whose ``workers`` /
+``backend`` knobs parallelize a sweep (``repro fig7 --workers 8
+--backend batched``), and whose ``cache_dir`` reads through the
+persistent result store — ``repro fig7 --cache-dir DIR`` regenerates
+the figure from stored rows and only simulates missing configs.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.campaign import CampaignRunner, sweep
+from repro.campaign import shared_runner, sweep
 from repro.experiments.config import (
     THRESHOLD_SWEEP_C,
     ExperimentConfig,
@@ -68,8 +71,6 @@ class FigureSeries:
 # ----------------------------------------------------------------------
 # shared campaign engine with caching
 # ----------------------------------------------------------------------
-_ENGINE = CampaignRunner()
-
 #: Full-result cache for :func:`run_cached` (reports alone come from
 #: the engine; custom harnesses also want the traces and raw metrics).
 _RESULT_CACHE: Dict[tuple, RunResult] = {}
@@ -81,13 +82,14 @@ def run_cached(config: ExperimentConfig) -> RunResult:
     if key not in _RESULT_CACHE:
         result = _RESULT_CACHE[key] = run_experiment(config)
         # Seed the report-level engine cache so figure sweeps reuse it.
-        _ENGINE._store(config.config_hash(), config, result.report)
+        shared_runner()._store(config.config_hash(), config, result.report)
     return _RESULT_CACHE[key]
 
 
 def clear_cache() -> None:
+    from repro.campaign import clear_shared_runners
     _RESULT_CACHE.clear()
-    _ENGINE.clear_cache()
+    clear_shared_runners()
 
 
 def run_matrix(package: str,
@@ -95,16 +97,19 @@ def run_matrix(package: str,
                policies: Sequence[str] = COMPARED_POLICIES,
                base: Optional[ExperimentConfig] = None,
                workers: int = 1,
+               cache_dir: Optional[str] = None,
+               backend: str = "process-pool",
                ) -> Dict[Tuple[str, float], RunReport]:
     """All (policy, threshold) reports for one package.
 
-    Driven through the shared campaign engine: cached runs are reused,
-    the rest fan out over ``workers`` processes.
+    Driven through the shared campaign engine: cached runs (in memory,
+    and in the ``cache_dir`` result store if given) are reused, the
+    rest execute through ``backend`` over ``workers`` processes.
     """
     configs = sweep(base, package=package, policy=tuple(policies),
                     threshold_c=tuple(float(t) for t in thresholds))
-    result = _ENGINE.run(configs, name=f"{package} matrix",
-                         workers=workers)
+    result = shared_runner(cache_dir, backend).run(
+        configs, name=f"{package} matrix", workers=workers)
     keys = [(policy, float(threshold)) for policy in policies
             for threshold in thresholds]
     return {key: run.report for key, run in zip(keys, result.runs)}
@@ -113,8 +118,12 @@ def run_matrix(package: str,
 def _policy_series(package: str, metric, thresholds: Sequence[float],
                    policies: Sequence[str],
                    base: Optional[ExperimentConfig],
-                   workers: int = 1) -> Dict[str, List[float]]:
-    matrix = run_matrix(package, thresholds, policies, base, workers)
+                   workers: int = 1,
+                   cache_dir: Optional[str] = None,
+                   backend: str = "process-pool",
+                   ) -> Dict[str, List[float]]:
+    matrix = run_matrix(package, thresholds, policies, base, workers,
+                        cache_dir, backend)
     series: Dict[str, List[float]] = {}
     for policy in policies:
         label = POLICY_LABELS.get(policy, policy)
@@ -161,11 +170,13 @@ def figure2(sizes_kb: Sequence[int] = (64, 128, 256, 384, 512, 768, 1024),
 # ----------------------------------------------------------------------
 def figure7(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
             base: Optional[ExperimentConfig] = None,
-            workers: int = 1) -> FigureSeries:
+            workers: int = 1,
+            cache_dir: Optional[str] = None,
+            backend: str = "process-pool") -> FigureSeries:
     """Temperature standard deviation, mobile embedded package."""
     series = _policy_series(
         "mobile", lambda r: r.pooled_std_c, thresholds,
-        COMPARED_POLICIES, base, workers)
+        COMPARED_POLICIES, base, workers, cache_dir, backend)
     return FigureSeries(
         figure="Figure 7",
         title="Temp. standard deviation for embedded SoCs",
@@ -175,11 +186,13 @@ def figure7(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 def figure8(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
             base: Optional[ExperimentConfig] = None,
-            workers: int = 1) -> FigureSeries:
+            workers: int = 1,
+            cache_dir: Optional[str] = None,
+            backend: str = "process-pool") -> FigureSeries:
     """Deadline misses, mobile embedded package."""
     series = _policy_series(
         "mobile", lambda r: float(r.deadline_misses), thresholds,
-        COMPARED_POLICIES, base, workers)
+        COMPARED_POLICIES, base, workers, cache_dir, backend)
     return FigureSeries(
         figure="Figure 8",
         title="Deadline misses for the embedded mobile system",
@@ -189,11 +202,13 @@ def figure8(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 def figure9(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
             base: Optional[ExperimentConfig] = None,
-            workers: int = 1) -> FigureSeries:
+            workers: int = 1,
+            cache_dir: Optional[str] = None,
+            backend: str = "process-pool") -> FigureSeries:
     """Temperature standard deviation, high-performance package."""
     series = _policy_series(
         "highperf", lambda r: r.pooled_std_c, thresholds,
-        COMPARED_POLICIES, base, workers)
+        COMPARED_POLICIES, base, workers, cache_dir, backend)
     return FigureSeries(
         figure="Figure 9",
         title="Standard deviation for the high performance SoCs",
@@ -203,11 +218,13 @@ def figure9(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 def figure10(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
              base: Optional[ExperimentConfig] = None,
-             workers: int = 1) -> FigureSeries:
+             workers: int = 1,
+             cache_dir: Optional[str] = None,
+             backend: str = "process-pool") -> FigureSeries:
     """Deadline misses, high-performance package."""
     series = _policy_series(
         "highperf", lambda r: float(r.deadline_misses), thresholds,
-        COMPARED_POLICIES, base, workers)
+        COMPARED_POLICIES, base, workers, cache_dir, backend)
     return FigureSeries(
         figure="Figure 10",
         title="Deadline misses for high-performance systems",
@@ -217,13 +234,16 @@ def figure10(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
 
 def figure11(thresholds: Sequence[float] = THRESHOLD_SWEEP_C,
              base: Optional[ExperimentConfig] = None,
-             workers: int = 1) -> FigureSeries:
+             workers: int = 1,
+             cache_dir: Optional[str] = None,
+             backend: str = "process-pool") -> FigureSeries:
     """Migrations per second of the balancing policy, both packages."""
     xs = [float(t) for t in thresholds]
     series: Dict[str, List[float]] = {}
     for package, label in (("mobile", "embedded mobile"),
                            ("highperf", "high-performance")):
-        matrix = run_matrix(package, thresholds, ("migra",), base, workers)
+        matrix = run_matrix(package, thresholds, ("migra",), base,
+                            workers, cache_dir, backend)
         series[label] = [matrix[("migra", t)].migrations_per_s
                          for t in xs]
     return FigureSeries(

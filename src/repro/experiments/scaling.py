@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.campaign import CampaignRunner
+from repro.campaign import shared_runner
 from repro.experiments.config import ExperimentConfig
 
 
@@ -48,11 +48,14 @@ class ScalingRow:
 def scaling_study(core_counts: Sequence[int] = (2, 3, 4, 5, 6),
                   threshold_c: float = 2.0,
                   base: Optional[ExperimentConfig] = None,
-                  workers: int = 1) -> List[ScalingRow]:
+                  workers: int = 1,
+                  cache_dir: Optional[str] = None,
+                  backend: str = "process-pool") -> List[ScalingRow]:
     """Run the policy-vs-static comparison for each core count.
 
     All (core count x policy) runs go through one campaign, so
-    ``workers > 1`` parallelizes the whole study.
+    ``workers > 1`` parallelizes the whole study; with ``cache_dir``
+    previously simulated rows come straight from the result store.
     """
     base = base or ExperimentConfig()
     pairs = []
@@ -62,7 +65,7 @@ def scaling_study(core_counts: Sequence[int] = (2, 3, 4, 5, 6),
         shape = dict(n_cores=n, n_bands=n, threshold_c=threshold_c)
         pairs.append((base.variant(policy="energy", **shape),
                       base.variant(policy="migra", **shape)))
-    campaign = CampaignRunner().run(
+    campaign = shared_runner(cache_dir, backend).run(
         [cfg for pair in pairs for cfg in pair], name="scaling",
         workers=workers)
     rows: List[ScalingRow] = []

@@ -3,12 +3,17 @@
 A :class:`RunReport` condenses one simulation run (policy x threshold x
 package) into the numbers the paper's figures plot, with text and JSON
 renderers used by the CLI and the benchmark harness.
+
+:meth:`RunReport.to_record` / :meth:`RunReport.from_record` define the
+stable *flat* schema (one scalar or string per column) that backs the
+campaign result store and its CSV export — every metric is its own
+column, list-valued fields are JSON-encoded strings.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import MISSING, asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
 
@@ -96,3 +101,71 @@ class RunReport:
     def to_json(self, indent: int = 2) -> str:
         """JSON rendering for downstream tooling (``repro run --json``)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    # flat record schema (result store / CSV)
+    # ------------------------------------------------------------------
+    #: Fields that are not scalars; stored as JSON-encoded strings.
+    JSON_COLUMNS = ("core_mean_c", "extra")
+    #: Integer-valued metric columns.
+    INT_COLUMNS = ("deadline_misses", "source_drops", "migrations",
+                   "frames_played")
+    #: String-valued identity columns.
+    STR_COLUMNS = ("policy", "package")
+
+    @classmethod
+    def record_columns(cls) -> List[str]:
+        """Column names of the flat record schema, in field order."""
+        return [f.name for f in fields(cls)]
+
+    def to_record(self) -> Dict:
+        """One flat row: scalars verbatim, lists/dicts JSON-encoded.
+
+        The column set is exactly the dataclass fields, in order, so a
+        tabular store (SQLite, CSV) can hold one run per row with every
+        metric individually queryable.
+        """
+        record = {}
+        for name in self.record_columns():
+            value = getattr(self, name)
+            if name in self.JSON_COLUMNS:
+                value = json.dumps(value, sort_keys=True)
+            record[name] = value
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "RunReport":
+        """Inverse of :meth:`to_record`, coercing stringly-typed values.
+
+        Accepts rows read back from stores that only preserve text
+        (CSV) as well as natively typed rows (SQLite): every column is
+        coerced to its field's type, so
+        ``RunReport.from_record(r.to_record()) == r`` holds across a
+        full stringification round trip.  A missing or ``None`` column
+        falls back to the field's default — rows written before a
+        metric existed (the store's ``ALTER TABLE`` forward migration
+        leaves ``NULL`` there) must still load.
+        """
+        kwargs = {}
+        for f in fields(cls):
+            name = f.name
+            value = record.get(name)
+            if value is None:
+                if f.default is not MISSING:
+                    value = f.default
+                elif f.default_factory is not MISSING:
+                    value = f.default_factory()
+                else:
+                    raise ValueError(
+                        f"record is missing required column {name!r}")
+            elif name in cls.JSON_COLUMNS:
+                if isinstance(value, str):
+                    value = json.loads(value)
+            elif name in cls.INT_COLUMNS:
+                value = int(value)
+            elif name in cls.STR_COLUMNS:
+                value = str(value)
+            else:
+                value = float(value)
+            kwargs[name] = value
+        return cls(**kwargs)

@@ -12,13 +12,20 @@ from repro.platform.components import BlockKind, HardwareBlock
 from repro.platform.floorplan import Floorplan, Rect
 from repro.platform.frequency import OperatingPoint, OperatingPointTable
 from repro.platform.power import PowerModel, PowerModelParams
-from repro.platform.registry import platform_registry, register_platform
+from repro.platform.registry import (
+    floorplan_registry,
+    platform_registry,
+    register_floorplan,
+    register_platform,
+)
 from repro.platform.presets import (
     CONF1_STREAMING,
     CONF2_ARM11,
     PlatformConfig,
     build_chip,
     build_floorplan,
+    build_grid_floorplan,
+    grid_shape,
 )
 
 __all__ = [
@@ -39,6 +46,10 @@ __all__ = [
     "Tile",
     "build_chip",
     "build_floorplan",
+    "build_grid_floorplan",
+    "floorplan_registry",
+    "grid_shape",
     "platform_registry",
+    "register_floorplan",
     "register_platform",
 ]

@@ -6,12 +6,22 @@ middle core sees hot neighbours on both flanks — the paper observes that
 cores 2 and 3 run at the same frequency yet settle at different
 temperatures because of their floorplan position), private memories above
 the caches, and the shared memory strip along the top edge.
+
+Floorplans come in *topology families* (see
+:data:`~repro.platform.registry.floorplan_registry`): the paper's
+``row`` of tiles, and a ``grid`` that folds the tiles into an N x M
+arrangement — interior tiles then see hot neighbours on up to four
+sides, the varying-topology setting of the 2-D sweeps.  A
+:class:`PlatformConfig` names its family via ``topology``, so e.g. the
+registered ``conf1-grid`` platform is Conf1 power figures on the grid
+layout.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.platform.bus import SharedBus
 from repro.platform.chip import Chip, Tile
@@ -44,6 +54,9 @@ class PlatformConfig:
     bus_bandwidth_bps: float = 200e6
     bus_background_load: float = 0.15
     ambient_c: float = 35.0
+    #: Floorplan family name (see ``floorplan_registry``): how the
+    #: tiles are laid out geometrically ("row" or "grid").
+    topology: str = "row"
 
 
 def _mem_params(p_dyn_ref: float, leak_ref: float) -> PowerModelParams:
@@ -91,20 +104,63 @@ _PMEM_H = 1.0
 _SHARED_H = 1.2
 
 
+#: Height of one full tile (core + caches + private memory).
+_TILE_H = _CORE_H + _CACHE_H + _PMEM_H
+
+
+def _add_tile(fp: Floorplan, index: int, x0: float, y0: float) -> None:
+    """One tile's four blocks with its origin at ``(x0, y0)``."""
+    fp.add(f"core{index}", Rect(x0, y0, _TILE_W, _CORE_H))
+    fp.add(f"icache{index}", Rect(x0, y0 + _CORE_H,
+                                  _TILE_W / 2, _CACHE_H))
+    fp.add(f"dcache{index}", Rect(x0 + _TILE_W / 2, y0 + _CORE_H,
+                                  _TILE_W / 2, _CACHE_H))
+    fp.add(f"pmem{index}", Rect(x0, y0 + _CORE_H + _CACHE_H,
+                                _TILE_W, _PMEM_H))
+
+
 def build_floorplan(n_tiles: int = 3) -> Floorplan:
     """The Fig. 5-style floorplan: a row of tiles + shared memory strip."""
     if n_tiles < 1:
         raise ValueError("need at least one tile")
     fp = Floorplan()
     for i in range(n_tiles):
-        x0 = _TILE_W * i
-        fp.add(f"core{i}", Rect(x0, 0.0, _TILE_W, _CORE_H))
-        fp.add(f"icache{i}", Rect(x0, _CORE_H, _TILE_W / 2, _CACHE_H))
-        fp.add(f"dcache{i}", Rect(x0 + _TILE_W / 2, _CORE_H,
-                                  _TILE_W / 2, _CACHE_H))
-        fp.add(f"pmem{i}", Rect(x0, _CORE_H + _CACHE_H, _TILE_W, _PMEM_H))
-    fp.add("shared_mem", Rect(0.0, _CORE_H + _CACHE_H + _PMEM_H,
-                              _TILE_W * n_tiles, _SHARED_H))
+        _add_tile(fp, i, _TILE_W * i, 0.0)
+    fp.add("shared_mem", Rect(0.0, _TILE_H, _TILE_W * n_tiles, _SHARED_H))
+    return fp
+
+
+def grid_shape(n_tiles: int) -> tuple:
+    """``(n_rows, n_cols)`` of the near-square grid for ``n_tiles``."""
+    n_cols = max(1, math.ceil(math.sqrt(n_tiles)))
+    n_rows = math.ceil(n_tiles / n_cols)
+    return n_rows, n_cols
+
+
+def build_grid_floorplan(n_tiles: int = 4,
+                         n_cols: Optional[int] = None) -> Floorplan:
+    """A 2-D N x M grid of tiles + shared memory strip along the top.
+
+    Tiles fill row-major from the bottom-left; ``n_cols`` defaults to
+    the near-square ``ceil(sqrt(n_tiles))``, so e.g. 6 tiles become a
+    2 x 3 grid.  Vertically adjacent tiles abut (a tile's private
+    memory touches the core above it), giving interior tiles hot
+    neighbours on up to four sides — the thermal situation the
+    row-of-tiles layout cannot express.
+    """
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    if n_cols is None:
+        _, n_cols = grid_shape(n_tiles)
+    elif n_cols < 1:
+        raise ValueError("need at least one column")
+    n_rows = math.ceil(n_tiles / n_cols)
+    fp = Floorplan()
+    for i in range(n_tiles):
+        row, col = divmod(i, n_cols)
+        _add_tile(fp, i, _TILE_W * col, _TILE_H * row)
+    fp.add("shared_mem", Rect(0.0, _TILE_H * n_rows,
+                              _TILE_W * min(n_tiles, n_cols), _SHARED_H))
     return fp
 
 
@@ -126,7 +182,10 @@ def build_chip(sim_clock: Callable[[], float], n_tiles: int = 3,
     """
     if sim is None:
         raise ValueError("build_chip requires the simulator (sim=...)")
-    floorplan = build_floorplan(n_tiles)
+    # Imported here: the registry module imports this one for the
+    # Table 1 presets it pre-registers.
+    from repro.platform.registry import floorplan_registry
+    floorplan = floorplan_registry.resolve(config.topology)(n_tiles)
     opp_table = OperatingPointTable.clock_divided(
         config.f_max_hz, config.opp_levels, config.v_min, config.v_max)
 

@@ -1,9 +1,11 @@
-"""Platform registry.
+"""Platform and floorplan-family registries.
 
-Maps the names accepted by ``ExperimentConfig.platform`` to
+:data:`platform_registry` maps the names accepted by
+``ExperimentConfig.platform`` to
 :class:`~repro.platform.presets.PlatformConfig` parameter sets.  The
-paper's two Table 1 configurations are pre-registered; new platforms
-plug in without touching the experiment runner::
+paper's two Table 1 configurations are pre-registered (each in a
+``row`` and a ``grid`` topology variant); new platforms plug in
+without touching the experiment runner::
 
     from repro.platform.registry import register_platform
 
@@ -11,25 +13,44 @@ plug in without touching the experiment runner::
     def _conf1_lowleak():
         return replace(CONF1_STREAMING, name="Conf1-lowleak", ...)
 
-The floorplan itself is generated for any core count by
-:func:`~repro.platform.presets.build_floorplan`, so a registered
-platform combined with ``ExperimentConfig(n_cores=N)`` yields an N-core
-chip and matching RC thermal network.
+:data:`floorplan_registry` maps topology family names (the
+``PlatformConfig.topology`` field) to floorplan generators
+``f(n_tiles) -> Floorplan``: the paper's ``row`` of tiles and the 2-D
+``grid``.  Floorplans are generated for any core count, so a
+registered platform combined with ``ExperimentConfig(n_cores=N)``
+yields an N-core chip and matching RC thermal network in either
+topology.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.platform.presets import (
     CONF1_STREAMING,
     CONF2_ARM11,
     PlatformConfig,
+    build_floorplan,
+    build_grid_floorplan,
 )
 from repro.registry import Registry, register_value
 
 #: Name -> :class:`PlatformConfig`.
 platform_registry = Registry("platform")
+
+#: Topology family name -> floorplan generator ``f(n_tiles)``.
+floorplan_registry = Registry("floorplan", plural="floorplan families")
+
+
+def register_floorplan(name: str, generator=None):
+    """Register a floorplan generator (``f(n_tiles) -> Floorplan``)."""
+    return floorplan_registry.register(name) if generator is None \
+        else floorplan_registry.register(name, generator)
+
+
+register_floorplan("row", build_floorplan)
+register_floorplan("grid", build_grid_floorplan)
 
 
 def register_platform(name: str,
@@ -47,3 +68,9 @@ def register_platform(name: str,
 
 register_platform("conf1", CONF1_STREAMING)
 register_platform("conf2", CONF2_ARM11)
+register_platform("conf1-grid",
+                  replace(CONF1_STREAMING, name="Conf1-RISC32-grid",
+                          topology="grid"))
+register_platform("conf2-grid",
+                  replace(CONF2_ARM11, name="Conf2-ARM11-grid",
+                          topology="grid"))

@@ -18,6 +18,7 @@ interface:
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Dict, Tuple
 
 import numpy as np
@@ -25,11 +26,16 @@ from scipy.linalg import expm, lu_factor, lu_solve
 
 from repro.thermal.rc_network import RCNetwork
 
-#: Process-wide propagator cache keyed by (state-matrix digest, dt).
-#: Campaign runs over the same platform/package share the RC network
-#: numerically, so every run after the first skips the ``expm`` — this
-#: is what lets a campaign worker amortize the propagator across runs.
-_SHARED_PROPAGATORS: Dict[Tuple[bytes, float], np.ndarray] = {}
+#: Process-wide propagator cache keyed by (state-matrix digest, dt),
+#: in least-recently-used order (oldest first).  Campaign runs over the
+#: same platform/package share the RC network numerically, so every run
+#: after the first skips the ``expm`` — this is what lets a campaign
+#: worker amortize the propagator across runs.  On overflow only the
+#: LRU entry is evicted: a campaign's working set (one entry per
+#: distinct network x step size) stays warm even when a long sweep
+#: cycles through more than ``_SHARED_PROPAGATORS_MAX`` propagators.
+_SHARED_PROPAGATORS: "OrderedDict[Tuple[bytes, float], np.ndarray]" = \
+    OrderedDict()
 _SHARED_PROPAGATORS_MAX = 256
 
 
@@ -65,9 +71,11 @@ class ExactIntegrator:
             prop = _SHARED_PROPAGATORS.get(shared_key)
             if prop is None:
                 prop = expm(self._state_matrix * float(dt))
-                if len(_SHARED_PROPAGATORS) >= _SHARED_PROPAGATORS_MAX:
-                    _SHARED_PROPAGATORS.clear()
-                _SHARED_PROPAGATORS[shared_key] = prop
+                while len(_SHARED_PROPAGATORS) >= _SHARED_PROPAGATORS_MAX:
+                    _SHARED_PROPAGATORS.popitem(last=False)
+            else:
+                _SHARED_PROPAGATORS.pop(shared_key)
+            _SHARED_PROPAGATORS[shared_key] = prop
             self._propagators[key] = prop
         return prop
 

@@ -1,5 +1,6 @@
 """Tests for the campaign subsystem: config serialization, the sweep
-spec helpers, the SystemBuilder, and the parallel CampaignRunner."""
+spec helpers, the SystemBuilder, the execution backends, and the
+store-backed CampaignRunner."""
 
 import dataclasses
 import json
@@ -9,10 +10,13 @@ import pytest
 from repro.campaign import (
     CampaignRunner,
     SystemBuilder,
+    backend_registry,
     campaign_registry,
     expand_campaign,
     sweep,
 )
+from repro.campaign.backends import network_group_key
+from repro.campaign.engine import STORE_FILENAME
 from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.platform.presets import CONF1_STREAMING
@@ -132,17 +136,52 @@ class TestCampaignRunner:
         assert again.runs[0].report.to_json() == \
             result.runs[0].report.to_json()
 
-    def test_disk_cache_survives_new_runner(self, tmp_path):
+    def test_store_cache_survives_new_runner(self, tmp_path):
         cfg = ExperimentConfig(policy="energy", **SHORT)
         first = CampaignRunner(cache_dir=str(tmp_path)).run([cfg])
-        manifest_files = list(tmp_path.glob("*.json"))
-        assert len(manifest_files) == 1
-        manifest = json.loads(manifest_files[0].read_text())
-        assert manifest["config"]["policy"] == "energy"
+        assert (tmp_path / STORE_FILENAME).is_file()
         second = CampaignRunner(cache_dir=str(tmp_path)).run([cfg])
         assert second.runs[0].cached is True
         assert second.runs[0].report.to_json() == \
             first.runs[0].report.to_json()
+
+    def test_legacy_json_manifest_served_and_migrated(self, tmp_path):
+        """Pre-store caches (one JSON manifest per run) keep working:
+        the manifest is honoured as a hit and copied into the store."""
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        report = run_experiment(cfg).report
+        key = cfg.config_hash()
+        (tmp_path / f"{key}.json").write_text(json.dumps(
+            {"config_hash": key, "config": cfg.to_dict(),
+             "report": report.to_dict()}))
+        runner = CampaignRunner(cache_dir=str(tmp_path))
+        result = runner.run([cfg])
+        assert result.runs[0].cached is True
+        assert result.runs[0].report.to_json() == report.to_json()
+        assert runner.store.get(key) is not None     # migrated
+
+    def test_cached_hits_recorded_under_new_campaign_name(self, tmp_path):
+        """A campaign served entirely from cache must still appear in
+        the store under its own name — rows are keyed by
+        (config_hash, campaign)."""
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        runner = CampaignRunner(cache_dir=str(tmp_path))
+        runner.run([cfg], name="first")
+        result = runner.run([cfg], name="second")
+        assert result.n_cached == 1
+        campaigns = dict(runner.store.campaigns())
+        assert campaigns == {"first": 1, "second": 1}
+        assert len(runner.store.runs(campaign="second")) == 1
+
+    def test_corrupt_manifest_is_cache_miss(self, tmp_path):
+        """A truncated/corrupt legacy manifest must re-simulate, not
+        crash the campaign."""
+        cfg = ExperimentConfig(policy="energy", **SHORT)
+        key = cfg.config_hash()
+        (tmp_path / f"{key}.json").write_text('{"config_hash": "trunc')
+        result = CampaignRunner(cache_dir=str(tmp_path)).run([cfg])
+        assert result.runs[0].cached is False
+        assert result.runs[0].report.frames_played > 0
 
     def test_run_one_uses_cache(self):
         runner = CampaignRunner()
@@ -181,3 +220,89 @@ class TestCampaignRunner:
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
             CampaignRunner(workers=0)
+
+
+class TestExecutionBackends:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "process-pool", "batched"} <= \
+            set(backend_registry)
+
+    def test_unknown_backend_lists_names(self):
+        with pytest.raises(ValueError, match="batched"):
+            CampaignRunner(backend="quantum")
+
+    def test_network_group_key_groups_by_thermal_network(self):
+        a = ExperimentConfig(policy="energy", **SHORT)
+        b = a.variant(policy="migra", threshold_c=1.0)     # same network
+        c = a.variant(platform="conf2")                    # different
+        d = a.variant(n_cores=4, n_bands=4)                # different
+        assert network_group_key(a) == network_group_key(b)
+        assert network_group_key(a) != network_group_key(c)
+        assert network_group_key(a) != network_group_key(d)
+
+    def test_backend_parity_mixed_platform_campaign(self):
+        """Acceptance: serial, process-pool and batched backends
+        produce byte-identical manifests on a campaign mixing two
+        platforms (hence two thermal-network groups)."""
+        base = ExperimentConfig(**SHORT)
+        configs = (sweep(base, platform="conf1",
+                         policy=("energy", "migra")) +
+                   sweep(base, platform="conf1-grid",
+                         policy=("energy", "migra")))
+        manifests = {}
+        for backend in ("serial", "process-pool", "batched"):
+            result = CampaignRunner(workers=3, backend=backend).run(
+                configs, name="parity")
+            assert result.n_cached == 0
+            assert result.backend == backend
+            manifests[backend] = result.to_json()
+        assert manifests["serial"] == manifests["process-pool"]
+        assert manifests["serial"] == manifests["batched"]
+
+
+class TestIncrementalAnalysis:
+    def test_fig7_cache_dir_simulates_zero_on_second_run(
+            self, tmp_path, monkeypatch):
+        """Acceptance: ``repro fig7 --cache-dir DIR`` run twice
+        simulates zero configs the second time — every row comes from
+        the persistent store."""
+        from repro.experiments import figures
+        from repro.experiments import runner as runner_mod
+        calls = []
+        real = runner_mod.run_experiment
+
+        def counting(config):
+            calls.append(config)
+            return real(config)
+
+        monkeypatch.setattr(runner_mod, "run_experiment", counting)
+        base = ExperimentConfig(**SHORT)
+        kwargs = dict(thresholds=(1.0, 2.0), base=base,
+                      cache_dir=str(tmp_path), backend="serial")
+        figures.clear_cache()
+        try:
+            first = figures.figure7(**kwargs)
+            n_simulated = len(calls)
+            assert n_simulated == 6       # 3 policies x 2 thresholds
+            figures.clear_cache()         # drop all in-memory caches
+            second = figures.figure7(**kwargs)
+            assert len(calls) == n_simulated      # zero new simulations
+            assert second == first
+        finally:
+            figures.clear_cache()
+
+    def test_scaling_reads_through_store(self, tmp_path):
+        from repro.experiments.scaling import scaling_study
+        base = ExperimentConfig(**SHORT)
+        from repro.campaign import clear_shared_runners
+        clear_shared_runners()
+        try:
+            first = scaling_study(core_counts=(2, 3), base=base,
+                                  cache_dir=str(tmp_path))
+            clear_shared_runners()
+            again = scaling_study(core_counts=(2, 3), base=base,
+                                  cache_dir=str(tmp_path))
+        finally:
+            clear_shared_runners()
+        assert [r.to_text() for r in first] == \
+            [r.to_text() for r in again]

@@ -1,0 +1,211 @@
+"""Tests for the queryable result store and the flat report record."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.campaign.store import ResultStore, load_manifest
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.report import RunReport
+
+
+def _report(policy="migra", threshold_c=2.0, peak_c=61.5) -> RunReport:
+    return RunReport(policy=policy, package="mobile-embedded",
+                     threshold_c=threshold_c, duration_s=25.0,
+                     pooled_std_c=1.25, peak_c=peak_c,
+                     deadline_misses=3, migrations=7,
+                     migrations_per_s=0.28, energy_j=23.5,
+                     core_mean_c=[51.0, 49.5, 50.2],
+                     frames_played=625, extra={"note": 1.0})
+
+
+class TestRunReportRecord:
+    def test_record_is_flat(self):
+        record = _report().to_record()
+        assert all(isinstance(v, (int, float, str))
+                   for v in record.values())
+
+    def test_record_covers_every_field(self):
+        import dataclasses
+        record = _report().to_record()
+        assert set(record) == {f.name for f in
+                               dataclasses.fields(RunReport)}
+
+    def test_round_trip(self):
+        report = _report()
+        assert RunReport.from_record(report.to_record()) == report
+
+    def test_round_trip_through_strings(self):
+        """CSV-style stringification must still rebuild the report."""
+        report = _report()
+        stringly = {k: str(v) for k, v in report.to_record().items()}
+        assert RunReport.from_record(stringly) == report
+
+    def test_null_and_missing_columns_fall_back_to_defaults(self):
+        """Rows written before a metric existed read back with the
+        field's default (the store's ALTER TABLE migration leaves NULL
+        in old rows)."""
+        record = _report().to_record()
+        record["peak_c"] = None            # NULL from a migrated store
+        del record["mean_freeze_ms"]       # column absent entirely
+        report = RunReport.from_record(record)
+        assert report.peak_c == 0.0
+        assert report.mean_freeze_ms == 0.0
+        assert report.policy == "migra"
+
+    def test_missing_required_column_raises(self):
+        record = _report().to_record()
+        del record["policy"]               # no default to fall back on
+        with pytest.raises(ValueError, match="policy"):
+            RunReport.from_record(record)
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        report = _report()
+        store.put("abc123", {"policy": "migra"}, report, campaign="fig7")
+        assert store.get("abc123") == report
+        assert store.get("missing") is None
+        assert "abc123" in store and len(store) == 1
+
+    def test_keyed_by_hash_and_campaign(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.put("h1", {}, _report(), campaign="a")
+        store.put("h1", {}, _report(), campaign="b")
+        store.put("h2", {}, _report(policy="energy"), campaign="a")
+        assert store.campaigns() == [("a", 2), ("b", 1)]
+        assert len(store) == 3
+        # replacing the same (hash, campaign) does not add a row
+        store.put("h1", {}, _report(peak_c=70.0), campaign="a")
+        assert len(store) == 3
+        assert store.runs(campaign="a")[0].report.peak_c in (61.5, 70.0)
+
+    def test_runs_where_filter(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.put("h1", {}, _report(peak_c=55.0), campaign="sweep")
+        store.put("h2", {}, _report(peak_c=72.0), campaign="sweep")
+        hot = store.runs(where="peak_c > 70")
+        assert [run.config_hash for run in hot] == ["h2"]
+        assert store.runs(campaign="nope") == []
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        with ResultStore(path) as store:
+            store.put("h1", {"seed": 0}, _report(), campaign="x")
+        reopened = ResultStore(path)
+        runs = reopened.runs()
+        assert runs[0].config == {"seed": 0}
+        assert runs[0].report == _report()
+
+    def test_csv_round_trips_every_metric_column(self, tmp_path):
+        """Acceptance: the CSV export carries every column of
+        ``RunReport.to_record()`` and rebuilds identical reports."""
+        store = ResultStore(tmp_path / "r.sqlite")
+        reports = [_report(), _report(policy="energy", threshold_c=4.0)]
+        for i, report in enumerate(reports):
+            store.put(f"h{i}", {}, report, campaign="csv")
+        text = store.export_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert set(RunReport.record_columns()) <= set(rows[0])
+        rebuilt = [RunReport.from_record(row) for row in rows]
+        assert sorted(r.policy for r in rebuilt) == ["energy", "migra"]
+        for report in reports:
+            assert report in rebuilt
+
+    def test_csv_written_to_path(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.put("h1", {}, _report(), campaign="x")
+        out = tmp_path / "runs.csv"
+        store.export_csv(path=out)
+        assert out.read_text().startswith("config_hash,campaign,policy")
+
+    def test_manifest_export_import_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "a.sqlite")
+        store.put("h1", {"policy": "migra"}, _report(), campaign="x")
+        assert store.export_manifests(tmp_path / "manifests") == 1
+        manifest = json.loads(
+            (tmp_path / "manifests" / "h1.json").read_text())
+        assert manifest["config"] == {"policy": "migra"}
+
+        other = ResultStore(tmp_path / "b.sqlite")
+        imported, skipped = other.import_manifests(tmp_path / "manifests")
+        assert (imported, skipped) == (1, 0)
+        assert other.get("h1") == _report()
+
+    def test_import_skips_corrupt_manifests(self, tmp_path):
+        broken = tmp_path / "manifests"
+        broken.mkdir()
+        (broken / "bad1.json").write_text('{"config": {}, "repo')
+        (broken / "bad2.json").write_text('{"config": {}}')   # no report
+        store = ResultStore(tmp_path / "r.sqlite")
+        imported, skipped = store.import_manifests(broken)
+        assert (imported, skipped) == (0, 2)
+        assert len(store) == 0
+
+    def test_schema_migration_adds_new_columns(self, tmp_path):
+        """A store created before a metric existed gains the column on
+        reopen, and its pre-migration rows (NULL in the new column)
+        still load with the field's default."""
+        path = tmp_path / "r.sqlite"
+        store = ResultStore(path)
+        store.put("h1", {}, _report(), campaign="x")
+        store.close()
+        import sqlite3
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs DROP COLUMN peak_c")
+        conn.commit()
+        conn.close()
+        reopened = ResultStore(path)           # re-adds the column
+        old = reopened.get("h1")               # row has NULL peak_c
+        assert old is not None and old.peak_c == 0.0
+        reopened.put("h2", {}, _report(), campaign="x")
+        assert reopened.get("h2") == _report()
+
+    def test_has_is_per_campaign(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.put("h1", {}, _report(), campaign="a")
+        assert store.has("h1", "a")
+        assert not store.has("h1", "b")
+        assert not store.has("h2", "a")
+
+    def test_manifest_export_filters_and_dedupes(self, tmp_path):
+        store = ResultStore(tmp_path / "r.sqlite")
+        store.put("h1", {}, _report(), campaign="a")
+        store.put("h1", {}, _report(), campaign="b")   # same config
+        store.put("h2", {}, _report(policy="energy"), campaign="b")
+        out_all = tmp_path / "all"
+        assert store.export_manifests(out_all) == 2    # h1 once
+        assert {p.name for p in out_all.glob("*.json")} == \
+            {"h1.json", "h2.json"}
+        out_b = tmp_path / "only-a"
+        assert store.export_manifests(out_b, campaign="a") == 1
+        assert {p.name for p in out_b.glob("*.json")} == {"h1.json"}
+
+
+class TestLoadManifest:
+    def test_valid(self, tmp_path):
+        cfg = ExperimentConfig()
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"config_hash": "k",
+                                    "config": cfg.to_dict(),
+                                    "report": _report().to_dict()}))
+        key, config, report = load_manifest(path)
+        assert key == "k"
+        assert config == cfg.to_dict()
+        assert report == _report()
+
+    @pytest.mark.parametrize("content", [
+        "", "not json", '{"config": {}}',
+        '{"config": {}, "report": {"bogus_field": 1}}',
+        '{"config": {}, "report": "not-a-dict"}',
+    ])
+    def test_damaged(self, tmp_path, content):
+        path = tmp_path / "m.json"
+        path.write_text(content)
+        assert load_manifest(path) is None
+
+    def test_missing_file(self, tmp_path):
+        assert load_manifest(tmp_path / "absent.json") is None

@@ -132,10 +132,97 @@ class TestCampaignCommands:
         argv = ["campaign", "smoke", "--warmup", "2", "--measure", "2",
                 "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert (tmp_path / "results.sqlite").is_file()
         capsys.readouterr()
-        assert main(argv) == 0          # second run served from disk
+        assert main(argv) == 0          # second run served from the store
         assert "(2 cached)" in capsys.readouterr().out
+
+    def test_backend_option_parses(self):
+        parser = build_parser()
+        for command in (["campaign", "smoke"], ["sweep"], ["fig7"],
+                        ["ablation", "top-k"], ["scaling"]):
+            args = parser.parse_args(command + ["--backend", "batched"])
+            assert args.backend == "batched"
+            assert args.cache_dir is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "smoke", "--backend", "bogus"])
+
+    def test_campaign_serial_backend_runs(self, capsys):
+        assert main(["campaign", "smoke", "--warmup", "2",
+                     "--measure", "2", "--backend", "serial"]) == 0
+        assert "serial backend" in capsys.readouterr().out
+
+
+class TestResultsCommands:
+    def _seed_store(self, tmp_path):
+        assert main(["campaign", "smoke", "--warmup", "2",
+                     "--measure", "2", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_results_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["results"])
+
+    def test_results_list(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "list", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "2" in out
+
+    def test_results_list_missing_store(self, capsys, tmp_path):
+        assert main(["results", "list", "--cache-dir",
+                     str(tmp_path)]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_results_show_with_filter(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "show", "--cache-dir", str(tmp_path),
+                     "--campaign", "smoke",
+                     "--where", "policy = 'migra'"]) == 0
+        out = capsys.readouterr().out
+        assert "migra" in out and "1 run(s)" in out
+
+    def test_results_export_csv_round_trips(self, capsys, tmp_path):
+        """Acceptance: every metric column of RunReport.to_record()
+        survives the CSV export."""
+        import csv as csv_mod
+        import io
+        from repro.metrics.report import RunReport
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "export", "--cache-dir", str(tmp_path),
+                     "--csv"]) == 0
+        rows = list(csv_mod.DictReader(io.StringIO(
+            capsys.readouterr().out)))
+        assert len(rows) == 2
+        assert set(RunReport.record_columns()) <= set(rows[0])
+        rebuilt = [RunReport.from_record(row) for row in rows]
+        assert {r.policy for r in rebuilt} == {"energy-balance", "migra"}
+
+    def test_results_export_and_import_manifests(self, capsys, tmp_path):
+        self._seed_store(tmp_path / "store")
+        manifest_dir = tmp_path / "manifests"
+        assert main(["results", "export", "--cache-dir",
+                     str(tmp_path / "store"),
+                     "--manifest-dir", str(manifest_dir)]) == 0
+        assert len(list(manifest_dir.glob("*.json"))) == 2
+        capsys.readouterr()
+        assert main(["results", "import", "--cache-dir",
+                     str(tmp_path / "fresh"), str(manifest_dir)]) == 0
+        assert "imported 2 run(s)" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["results", "list", "--cache-dir",
+                     str(tmp_path / "fresh")]) == 0
+        assert "imported" in capsys.readouterr().out
+
+    def test_results_export_needs_a_target(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "export", "--cache-dir",
+                     str(tmp_path)]) == 2
+        assert "--csv" in capsys.readouterr().err
 
     def test_sweep_json_output(self, capsys):
         import json

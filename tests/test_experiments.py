@@ -56,7 +56,8 @@ class TestConfig:
         assert a.cache_key() == ExperimentConfig(threshold_c=1.0).cache_key()
 
     def test_platform_presets_registered(self):
-        assert set(PLATFORMS) == {"conf1", "conf2"}
+        assert set(PLATFORMS) >= {"conf1", "conf2",
+                                  "conf1-grid", "conf2-grid"}
 
     def test_t_end(self):
         assert ExperimentConfig(warmup_s=2.0, measure_s=3.0).t_end == 5.0

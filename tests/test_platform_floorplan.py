@@ -4,7 +4,11 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.platform.floorplan import Floorplan, Rect
-from repro.platform.presets import build_floorplan
+from repro.platform.presets import (
+    build_floorplan,
+    build_grid_floorplan,
+    grid_shape,
+)
 
 
 class TestRect:
@@ -147,3 +151,74 @@ class TestPresetFloorplan:
     def test_block_count_formula(self, n):
         fp = build_floorplan(n)
         assert len(fp) == 4 * n + 1
+
+
+class TestGridFloorplan:
+    def test_near_square_shape(self):
+        assert grid_shape(4) == (2, 2)
+        assert grid_shape(6) == (2, 3)
+        assert grid_shape(7) == (3, 3)
+        assert grid_shape(1) == (1, 1)
+
+    def test_all_blocks_present(self):
+        fp = build_grid_floorplan(6)
+        for i in range(6):
+            for kind in ("core", "icache", "dcache", "pmem"):
+                assert f"{kind}{i}" in fp
+        assert "shared_mem" in fp
+        assert len(fp) == 6 * 4 + 1
+
+    def test_no_overlaps_by_construction(self):
+        for n in (1, 2, 3, 4, 5, 6, 7, 9, 12):
+            build_grid_floorplan(n)   # Floorplan.add raises on overlap
+
+    def test_grid_is_two_dimensional(self):
+        """6 tiles fold into 2 rows x 3 cols, not a 6-wide row."""
+        fp = build_grid_floorplan(6)
+        row = build_floorplan(6)
+        assert fp.bounding_box.w < row.bounding_box.w
+        assert fp.bounding_box.h > row.bounding_box.h
+        # cores 0 and 3 occupy the same column, different rows
+        c0, c3 = fp.rect("core0"), fp.rect("core3")
+        assert c0.x == c3.x and c0.y != c3.y
+
+    def test_vertical_tile_abutment(self):
+        """Stacked tiles must couple thermally: the lower tile's
+        private memory shares an edge with the upper tile's core."""
+        fp = build_grid_floorplan(6)
+        adj = {frozenset((a, b)) for a, b, _e in fp.adjacencies()}
+        assert frozenset(("pmem0", "core3")) in adj
+        assert frozenset(("core0", "core1")) in adj      # lateral too
+
+    def test_interior_tile_has_more_neighbours_than_row(self):
+        """The point of the 2-D family: an interior core in a 3x3 grid
+        touches tile blocks on four sides."""
+        fp = build_grid_floorplan(9)
+        neighbours = {name: set() for name in fp.names}
+        for a, b, _e in fp.adjacencies():
+            neighbours[a].add(b)
+            neighbours[b].add(a)
+        # core4 is the centre tile of the 3x3 grid
+        assert {"core3", "core5", "pmem1"} <= neighbours["core4"]
+
+    def test_explicit_column_count(self):
+        fp = build_grid_floorplan(6, n_cols=2)
+        c0, c2 = fp.rect("core0"), fp.rect("core2")
+        assert c0.x == c2.x        # column 0, rows 0 and 1
+        assert fp.bounding_box.w == pytest.approx(2 * 2.0)
+
+    def test_partial_last_row(self):
+        fp = build_grid_floorplan(5)     # 2 rows x 3 cols, one gap
+        assert "core4" in fp and "core5" not in fp
+        assert "shared_mem" in fp
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_grid_floorplan(0)
+        with pytest.raises(ValueError):
+            build_grid_floorplan(4, n_cols=0)
+
+    def test_registered_in_floorplan_registry(self):
+        from repro.platform.registry import floorplan_registry
+        assert set(floorplan_registry) >= {"row", "grid"}
+        assert floorplan_registry.resolve("grid") is build_grid_floorplan

@@ -112,3 +112,44 @@ class TestEulerIntegrator:
         for _ in range(100):
             temps = integ.advance(temps, power, 0.5)
         assert np.allclose(temps, network.steady_state(power), atol=1e-2)
+
+
+class TestSharedPropagatorCache:
+    def _digest_count(self):
+        from repro.thermal import integrator
+        return len(integrator._SHARED_PROPAGATORS)
+
+    def test_lru_evicts_one_entry_not_everything(self, network,
+                                                 monkeypatch):
+        """Overflow must drop only the least-recently-used propagator:
+        a full clear() mid-campaign would throw away the entire warm
+        working set."""
+        from repro.thermal import integrator
+        integrator.clear_propagator_cache()
+        monkeypatch.setattr(integrator, "_SHARED_PROPAGATORS_MAX", 4)
+        exact = ExactIntegrator(network)
+        for i in range(4):
+            exact._propagator(0.01 * (i + 1))
+        keys_before = list(integrator._SHARED_PROPAGATORS)
+        assert len(keys_before) == 4
+        # Touch the oldest entry so it becomes most-recently-used ...
+        exact._propagators.clear()
+        exact._propagator(0.01)
+        # ... then overflow: the evictee must be the *second*-oldest.
+        exact._propagator(0.05)
+        keys_after = list(integrator._SHARED_PROPAGATORS)
+        assert len(keys_after) == 4
+        assert keys_before[0] in keys_after      # refreshed, survived
+        assert keys_before[1] not in keys_after  # LRU, evicted
+        integrator.clear_propagator_cache()
+
+    def test_shared_across_integrators_same_network(self, network):
+        from repro.thermal import integrator
+        integrator.clear_propagator_cache()
+        a = ExactIntegrator(network)
+        b = ExactIntegrator(network)
+        prop_a = a._propagator(0.01)
+        prop_b = b._propagator(0.01)
+        assert prop_a is prop_b
+        assert self._digest_count() == 1
+        integrator.clear_propagator_cache()
