@@ -52,9 +52,17 @@ def test_campaign_parallel(benchmark):
 
 def test_parallel_speedup_over_serial():
     """Direct wall-clock comparison, reported as the sweep artifact."""
+    from repro.thermal.cache import cache_stats, clear_artifact_cache
+    clear_artifact_cache()
     t0 = time.perf_counter()
     serial = _run_sweep(1)
     t_serial = time.perf_counter() - t0
+    # 8 runs over one thermal network: the serial (in-process) sweep
+    # must have served 7 of the 8 propagator lookups from the shared
+    # artifact cache.
+    stats = cache_stats()
+    emit(f"serial sweep artifact reuse: {stats.to_text()}")
+    assert stats.hits >= len(_CONFIGS) - 1
 
     t0 = time.perf_counter()
     parallel = _run_sweep(_PARALLEL_WORKERS)

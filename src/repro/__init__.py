@@ -68,6 +68,7 @@ from repro.policies import (
 from repro.sim.kernel import Simulator
 from repro.streaming.application import StreamingApplication
 from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
+from repro.thermal.solvers import register_solver, solver_registry
 
 __version__ = "1.0.0"
 
@@ -104,7 +105,9 @@ __all__ = [
     "narrative_sec52",
     "register_backend",
     "register_campaign",
+    "register_solver",
     "run_experiment",
+    "solver_registry",
     "sweep",
     "table1",
     "table2",

@@ -65,15 +65,17 @@ from repro.campaign.spec import (
     register_campaign,
     sweep,
 )
-from repro.campaign.store import ResultStore, StoredRun
+from repro.campaign.store import DiffRow, ResultStore, StoreDiff, StoredRun
 
 __all__ = [
     "CampaignResult",
     "CampaignRun",
     "CampaignRunner",
+    "DiffRow",
     "ExecutionBackend",
     "ResultStore",
     "SWEEP_POLICIES",
+    "StoreDiff",
     "StoredRun",
     "SystemBuilder",
     "SystemUnderTest",

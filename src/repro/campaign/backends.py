@@ -15,11 +15,12 @@ Built-in backends, resolved by name through :data:`backend_registry`:
   :mod:`repro.thermal.integrator` stays warm across all runs.
 * ``process-pool`` — one config per ``multiprocessing`` task,
   round-robined over workers; best when configs are heterogeneous.
-* ``batched`` — groups configs that share a thermal network (same
-  platform / package / core count) and ships each group to a worker
-  whole, so the RC network's matrix exponential is built once per
-  group instead of once per (worker, network) encounter.  Best for
-  topology-diverse sweeps with many runs per platform.
+* ``batched`` — groups configs that share thermal-solver artifacts
+  (same platform / package / core count / solver) and ships each group
+  to a worker whole, so the RC network's propagator artifacts are
+  built once per group instead of once per (worker, network)
+  encounter.  Best for topology-diverse sweeps with many runs per
+  platform.
 
 New backends plug in without touching the runner::
 
@@ -134,13 +135,16 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def network_group_key(config: "ExperimentConfig") -> Tuple:
-    """Grouping key: configs with equal keys share an RC network.
+    """Grouping key: configs with equal keys share solver artifacts.
 
     The network is built from the platform's floorplan/power
-    parameters, the package and the core count, so those three fields
-    decide whether two runs can share the cached matrix exponential.
+    parameters, the package and the core count; the thermal solver
+    decides *which* per-network artifacts (dense propagator, sparse
+    operator, modal basis) a run warms up.  Together those four fields
+    decide whether two runs can share a worker's artifact cache.
     """
-    return (config.platform, config.package, config.n_cores)
+    return (config.platform, config.package, config.n_cores,
+            config.solver)
 
 
 @register_backend("batched")

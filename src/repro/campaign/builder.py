@@ -119,7 +119,8 @@ class SystemBuilder:
                                 period_s=self.config.sensor_period_s,
                                 trace=trace,
                                 noise_sigma_c=self.config.sensor_noise_c,
-                                rng=SimRandom(self.config.seed).fork(1))
+                                rng=SimRandom(self.config.seed).fork(1),
+                                solver=self.config.solver)
 
     def build_migration_strategy(self) -> MigrationStrategy:
         if self.config.migration_strategy == "replication":

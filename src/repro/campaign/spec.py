@@ -113,3 +113,32 @@ def _scaling(base: "ExperimentConfig") -> List["ExperimentConfig"]:
             configs.append(base.variant(policy=policy, n_cores=n,
                                         n_bands=n, threshold_c=2.0))
     return configs
+
+
+@register_campaign("topology")
+def _topology(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """Policy vs static mapping across the four floorplan families
+    (row / grid / lshape / grid-gap).  Six cores, so the families
+    genuinely differ: the grid grows an interior, the L an inner
+    corner, and the gapped mesh loses a populated site."""
+    return sweep(base, platform=("conf1", "conf1-grid", "conf1-lshape",
+                                 "conf1-gridgap"),
+                 policy=("energy", "migra"), threshold_c=2.0,
+                 n_cores=6, n_bands=6)
+
+
+@register_campaign("floorplan-scaling")
+def _floorplan_scaling(base: "ExperimentConfig",
+                       ) -> List["ExperimentConfig"]:
+    """Policy vs static mapping on growing 2-D grids, through the
+    sparse thermal fast path (at these sizes the dense ``expm`` per
+    network, not the simulation, would dominate a sweep)."""
+    configs: List[ExperimentConfig] = []
+    for n in (4, 9, 16):
+        for policy in ("energy", "migra"):
+            configs.append(base.variant(policy=policy,
+                                        platform="conf1-grid",
+                                        solver="sparse-exact",
+                                        n_cores=n, n_bands=n,
+                                        threshold_c=2.0))
+    return configs

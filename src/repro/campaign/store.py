@@ -31,7 +31,7 @@ import json
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.metrics.report import RunReport
 
@@ -241,6 +241,38 @@ class ResultStore:
             written.add(run.config_hash)
         return len(written)
 
+    # ------------------------------------------------------------------
+    # cross-campaign comparison
+    # ------------------------------------------------------------------
+    def diff(self, campaign_a: str, campaign_b: str,
+             where: Optional[str] = None) -> "StoreDiff":
+        """Row-by-row comparison of two stored campaigns.
+
+        Configurations are matched by ``config_hash``; every numeric
+        record column of the shared rows gets a ``b - a`` delta.
+        ``where`` filters both sides with the same raw SQL condition
+        accepted by :meth:`runs`.  Hashes present on one side only are
+        reported, not an error — campaigns routinely overlap
+        partially (e.g. a sweep re-run with one extra axis value).
+        """
+        runs_a = {run.config_hash: run
+                  for run in self.runs(campaign=campaign_a, where=where)}
+        runs_b = {run.config_hash: run
+                  for run in self.runs(campaign=campaign_b, where=where)}
+        numeric = _numeric_columns()
+        rows = []
+        for config_hash in sorted(set(runs_a) & set(runs_b)):
+            a, b = runs_a[config_hash], runs_b[config_hash]
+            rec_a, rec_b = a.report.to_record(), b.report.to_record()
+            deltas = {name: rec_b[name] - rec_a[name] for name in numeric}
+            rows.append(DiffRow(config_hash=config_hash, config=a.config,
+                                report_a=a.report, report_b=b.report,
+                                deltas=deltas))
+        return StoreDiff(
+            campaign_a=campaign_a, campaign_b=campaign_b, rows=rows,
+            only_a=sorted(set(runs_a) - set(runs_b)),
+            only_b=sorted(set(runs_b) - set(runs_a)))
+
     def import_manifests(self, directory: str,
                          campaign: str = "imported") -> Tuple[int, int]:
         """Load legacy per-run JSON manifests into the store.
@@ -259,6 +291,76 @@ class ResultStore:
             self.put(config_hash, config, report, campaign=campaign)
             imported += 1
         return imported, skipped
+
+
+def _numeric_columns() -> List[str]:
+    """Record columns that get a delta in :meth:`ResultStore.diff`."""
+    return [name for name in RunReport.record_columns()
+            if name not in RunReport.JSON_COLUMNS
+            and name not in RunReport.STR_COLUMNS]
+
+
+@dataclass
+class DiffRow:
+    """One shared configuration across two campaigns."""
+
+    config_hash: str
+    config: Dict
+    report_a: RunReport
+    report_b: RunReport
+    #: Numeric record column -> ``value_b - value_a``.
+    deltas: Dict[str, float]
+
+
+@dataclass
+class StoreDiff:
+    """Result of :meth:`ResultStore.diff` (renderable + queryable)."""
+
+    campaign_a: str
+    campaign_b: str
+    rows: List[DiffRow]
+    only_a: List[str]     # config hashes stored only under campaign_a
+    only_b: List[str]     # config hashes stored only under campaign_b
+
+    #: Default columns of :meth:`to_text` — the headline figure metrics.
+    DEFAULT_METRICS = ("pooled_std_c", "peak_c", "deadline_misses",
+                       "migrations_per_s", "energy_j")
+
+    @property
+    def n_shared(self) -> int:
+        return len(self.rows)
+
+    def max_abs_delta(self, metric: str) -> float:
+        """Largest |b - a| of one metric over the shared rows."""
+        return max((abs(row.deltas[metric]) for row in self.rows),
+                   default=0.0)
+
+    def to_text(self, metrics: Optional[Sequence[str]] = None) -> str:
+        """Fixed-width per-row delta table plus a coverage summary."""
+        metrics = list(metrics or self.DEFAULT_METRICS)
+        known = _numeric_columns()
+        for name in metrics:
+            if name not in known:
+                raise ValueError(f"unknown metric {name!r}; "
+                                 f"numeric columns: "
+                                 f"{', '.join(sorted(known))}")
+        lines = [f"diff {self.campaign_a!r} -> {self.campaign_b!r}: "
+                 f"{self.n_shared} shared config(s), "
+                 f"{len(self.only_a)} only in {self.campaign_a!r}, "
+                 f"{len(self.only_b)} only in {self.campaign_b!r}"]
+        width = max([14] + [len(m) + 4 for m in metrics])
+        lines.append(f"{'hash':<22}{'policy':<14}"
+                     + "".join(f"{('d ' + m):>{width}}" for m in metrics))
+        for row in self.rows:
+            lines.append(
+                f"{row.config_hash:<22}{row.report_a.policy:<14}"
+                + "".join(f"{row.deltas[m]:>{width}.4f}"
+                          for m in metrics))
+        for label, hashes in ((self.campaign_a, self.only_a),
+                              (self.campaign_b, self.only_b)):
+            for config_hash in hashes:
+                lines.append(f"{config_hash:<22}(only in {label!r})")
+        return "\n".join(lines)
 
 
 def load_manifest(path) -> Optional[Tuple[str, Dict, RunReport]]:

@@ -21,7 +21,10 @@ Sweep many configurations through the campaign engine::
         (both packages), ``scaling`` (2-6 cores).  ``--warmup`` /
         ``--measure`` shorten the phases, ``--backend`` picks the
         execution strategy (``serial``, ``process-pool``,
-        ``batched``), ``--cache-dir`` persists completed runs in a
+        ``batched``), ``--solver`` the thermal solver
+        (``dense-exact``, ``euler``, ``sparse-exact``, ``reduced`` —
+        the sparse/reduced fast paths scale to large grid
+        floorplans), ``--cache-dir`` persists completed runs in a
         queryable SQLite result store (re-running a campaign only
         simulates what changed), ``--json`` emits the aggregated
         manifest instead of the table.
@@ -36,6 +39,8 @@ Query and export completed runs from a result store::
     repro results list --cache-dir DIR
     repro results show --cache-dir DIR --campaign fig7 \\
                        --where "peak_c > 70"
+    repro results diff fig7 fig7-sparse --cache-dir DIR \\
+                       --where "policy = 'migra'"
     repro results export --cache-dir DIR --csv out.csv
     repro results import --cache-dir DIR LEGACY_MANIFEST_DIR
 
@@ -70,6 +75,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.tables import table1, table2
 from repro.metrics.report import RunReport
 from repro.platform.registry import platform_registry
+from repro.thermal.solvers import DEFAULT_SOLVER, solver_registry
 
 _FIGURES = {
     "fig2": figure2,
@@ -94,7 +100,7 @@ _EXPERIMENTS = (
     "run: one custom run (see --help)",
     "campaign: run a named campaign through the parallel engine",
     "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
-    "results: query/export a campaign result store (list, show, "
+    "results: query/export a campaign result store (list, show, diff, "
     "export, import)",
     "ablation: design-choice studies (candidate-filter, top-k, strategy, "
     "queue-capacity, sensor-period, stopgo-variant, platform)",
@@ -109,6 +115,8 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["warmup_s"] = args.warmup
     if getattr(args, "measure", None) is not None:
         kwargs["measure_s"] = args.measure
+    if getattr(args, "solver", None) is not None:
+        kwargs["solver"] = args.solver
     return ExperimentConfig(**kwargs)
 
 
@@ -130,9 +138,18 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", default="process-pool",
                    choices=backend_registry.names(),
                    help="execution backend (default process-pool)")
+    _add_solver_option(p)
     p.add_argument("--cache-dir", metavar="DIR", default=None,
                    help="persist completed runs in DIR's SQLite result "
                         "store; re-runs only simulate missing configs")
+
+
+def _add_solver_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--solver", default=DEFAULT_SOLVER,
+                   choices=solver_registry.names(),
+                   help="thermal solver (default dense-exact; "
+                        "sparse-exact/reduced scale to large "
+                        "floorplans)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=platform_registry.names())
     p.add_argument("--strategy", default="replication",
                    choices=("replication", "recreation"))
+    _add_solver_option(p)
     p.add_argument("--warmup", type=float, default=None)
     p.add_argument("--measure", type=float, default=None)
     p.add_argument("--show-trace", action="store_true",
@@ -218,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     for sub_name, sub_help in (
             ("list", "list stored campaigns with run counts"),
             ("show", "print stored runs as a table"),
+            ("diff", "compare two stored campaigns row by row"),
             ("export", "export stored runs (CSV or JSON manifests)"),
             ("import", "import legacy per-run JSON manifests")):
         rp = results_sub.add_parser(sub_name, help=sub_help)
@@ -227,9 +246,20 @@ def build_parser() -> argparse.ArgumentParser:
         if sub_name in ("show", "export"):
             rp.add_argument("--campaign", default=None,
                             help="restrict to one campaign")
+        if sub_name in ("show", "diff", "export"):
             rp.add_argument("--where", default=None, metavar="SQL",
                             help="SQL filter over the metric columns, "
                                  "e.g. \"peak_c > 70\"")
+        if sub_name == "diff":
+            rp.add_argument("campaign_a", metavar="CAMPAIGN_A",
+                            help="baseline campaign name")
+            rp.add_argument("campaign_b", metavar="CAMPAIGN_B",
+                            help="comparison campaign name")
+            rp.add_argument("--metrics", nargs="+", metavar="COL",
+                            default=None,
+                            help="numeric record columns to show "
+                                 "deltas for (default: the headline "
+                                 "figure metrics)")
         if sub_name == "show":
             rp.add_argument("--limit", type=int, default=None)
         if sub_name == "export":
@@ -304,7 +334,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         kwargs = dict(policy=args.policy, threshold_c=args.threshold,
                       package=args.package, platform=args.platform,
-                      migration_strategy=args.strategy)
+                      migration_strategy=args.strategy,
+                      solver=args.solver)
         if args.warmup is not None:
             kwargs["warmup_s"] = args.warmup
         if args.measure is not None:
@@ -359,14 +390,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "ablation":
         rows = ablation_mod.ALL_ABLATIONS[args.name](
-            workers=args.workers, cache_dir=args.cache_dir,
-            backend=args.backend)
+            base=_base_config(args), workers=args.workers,
+            cache_dir=args.cache_dir, backend=args.backend)
         print(ablation_mod.render(f"Ablation: {args.name}", rows))
         return 0
     if args.command == "scaling":
         from repro.experiments import scaling
         rows = scaling.scaling_study(core_counts=tuple(args.cores),
                                      threshold_c=args.threshold,
+                                     base=_base_config(args),
                                      workers=args.workers,
                                      cache_dir=args.cache_dir,
                                      backend=args.backend)
@@ -405,6 +437,20 @@ def _dispatch_results(args: argparse.Namespace) -> int:
         for name, count in campaigns:
             print(f"{name:<24}{count:>6d}")
         print(f"{'total':<24}{len(store):>6d}")
+        return 0
+
+    if args.results_command == "diff":
+        diff = store.diff(args.campaign_a, args.campaign_b,
+                          where=args.where)
+        if not diff.rows and not diff.only_a and not diff.only_b:
+            print(f"no runs stored under {args.campaign_a!r} or "
+                  f"{args.campaign_b!r}")
+            return 0
+        try:
+            print(diff.to_text(metrics=args.metrics))
+        except ValueError as error:       # typo'd metric column
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         return 0
 
     if args.results_command == "show":

@@ -4,8 +4,8 @@ A single dataclass pins down everything a run needs; its default values
 reproduce the paper's setup (3 cores, Conf1 power figures, Table 2
 mapping, 12.5 s warm-up, 10 ms sensors, task-replication migration).
 
-The ``policy``, ``workload``, ``package`` and ``platform`` fields are
-names resolved through the scenario registries (see
+The ``policy``, ``workload``, ``package``, ``platform`` and ``solver``
+fields are names resolved through the scenario registries (see
 :mod:`repro.registry`), so configurations can reference components that
 were registered after this module was imported.  Configurations are
 frozen (hashable), and :meth:`ExperimentConfig.to_dict` /
@@ -53,6 +53,10 @@ class ExperimentConfig:
     package: str = "mobile"
     platform: str = "conf1"
     n_cores: int = 3
+    #: Thermal solver (``repro.thermal.solvers.solver_registry``):
+    #: ``dense-exact`` (default, the paper's integrator), ``euler``,
+    #: ``sparse-exact`` or ``reduced`` for large floorplans.
+    solver: str = "dense-exact"
 
     # Streaming application.
     workload: str = "sdr"
@@ -92,10 +96,12 @@ class ExperimentConfig:
         # config class.
         from repro.policies.registry import policy_registry
         from repro.streaming.registry import workload_registry
+        from repro.thermal.solvers import solver_registry
         policy_registry.resolve(self.policy)
         workload_registry.resolve(self.workload)
         package_registry.resolve(self.package)
         platform_registry.resolve(self.platform)
+        solver_registry.resolve(self.solver)
         if self.migration_strategy not in ("replication", "recreation"):
             raise ValueError(
                 f"unknown migration strategy {self.migration_strategy!r}")

@@ -130,7 +130,52 @@ class Floorplan:
 
         Pairs are returned once each, in floorplan insertion order, which
         keeps the thermal network construction deterministic.
+
+        Candidate pairs come from a coordinate index (abutting blocks
+        must share an edge coordinate to within the geometric epsilon),
+        so the scan is near-linear in the block count instead of the
+        all-pairs quadratic sweep — on a 16 x 16 grid of tiles this is
+        the difference between thousands and hundreds of thousands of
+        rectangle comparisons.  The exact abutment test (and therefore
+        the output, order included) is identical to the brute-force
+        pairwise scan — see :meth:`adjacencies_bruteforce`.
         """
+        names = self._order
+
+        # Bucket left/bottom edges by quantized coordinate.  Buckets
+        # are 1e-6 mm wide and each lookup probes the two neighbouring
+        # buckets too, so any pair within the 1e-9 mm abutment epsilon
+        # is guaranteed to land in a probed bucket.
+        def quantize(v: float) -> int:
+            return int(round(v * 1e6))
+
+        by_left: Dict[int, List[int]] = {}
+        by_bottom: Dict[int, List[int]] = {}
+        for i, name in enumerate(names):
+            r = self._rects[name]
+            by_left.setdefault(quantize(r.x), []).append(i)
+            by_bottom.setdefault(quantize(r.y), []).append(i)
+
+        candidates = set()
+        for i, name in enumerate(names):
+            r = self._rects[name]
+            for bucket, key in ((by_left, quantize(r.x2)),
+                                (by_bottom, quantize(r.y2))):
+                for probe in (key - 1, key, key + 1):
+                    for j in bucket.get(probe, ()):
+                        if j != i:
+                            candidates.add((min(i, j), max(i, j)))
+
+        out: List[Tuple[str, str, float]] = []
+        for i, j in sorted(candidates):
+            a, b = names[i], names[j]
+            edge = self._rects[a].shared_edge_mm(self._rects[b])
+            if edge > 0.0:
+                out.append((a, b, edge))
+        return out
+
+    def adjacencies_bruteforce(self) -> List[Tuple[str, str, float]]:
+        """The all-pairs reference scan (tests assert it matches)."""
         out: List[Tuple[str, str, float]] = []
         names = self._order
         for i, a in enumerate(names):

@@ -164,6 +164,74 @@ def build_grid_floorplan(n_tiles: int = 4,
     return fp
 
 
+def build_lshape_floorplan(n_tiles: int = 4) -> Floorplan:
+    """An L-shaped die: a bottom row of tiles plus a vertical arm.
+
+    Roughly half the tiles (at least two, when there are that many)
+    form the bottom arm along x; the rest stack upward from the arm's
+    left end.  The corner tile sees neighbours on two orthogonal sides
+    while the arm tips radiate into empty die area — the asymmetric
+    gradient situation neither the row nor the full grid produces.
+    The shared memory strip sits in the L's inner corner, abutting the
+    bottom arm from above and the vertical arm from the right.
+    """
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    n_bottom = n_tiles if n_tiles <= 2 else max(2, (n_tiles + 1) // 2)
+    n_up = n_tiles - n_bottom
+    fp = Floorplan()
+    for i in range(n_bottom):
+        _add_tile(fp, i, _TILE_W * i, 0.0)
+    for j in range(n_up):
+        _add_tile(fp, n_bottom + j, 0.0, _TILE_H * (j + 1))
+    if n_up == 0:
+        # Degenerate L (no vertical arm) — the row layout.
+        fp.add("shared_mem",
+               Rect(0.0, _TILE_H, _TILE_W * n_bottom, _SHARED_H))
+    else:
+        fp.add("shared_mem",
+               Rect(_TILE_W, _TILE_H, _TILE_W * (n_bottom - 1),
+                    _SHARED_H))
+    return fp
+
+
+def build_grid_gap_floorplan(n_tiles: int = 4,
+                             n_cols: Optional[int] = None) -> Floorplan:
+    """A 2-D mesh with unpopulated gap sites between hotspots.
+
+    Tiles fill a grid row-major, but every site with an odd row *and*
+    an odd column stays empty — the mesh-with-hotspot-gaps topology of
+    varying-topology sweeps: populated tiles cluster around holes that
+    conduct no heat laterally, so hotspots concentrate where the mesh
+    is locally dense.  ``n_cols`` defaults to the near-square
+    ``ceil(sqrt(n_tiles))``; the shared memory strip runs along the
+    top edge of the populated area.
+    """
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    if n_cols is None:
+        n_cols = max(1, math.ceil(math.sqrt(n_tiles)))
+    elif n_cols < 1:
+        raise ValueError("need at least one column")
+    fp = Floorplan()
+    placed = 0
+    row = 0
+    max_col = 0
+    while placed < n_tiles:
+        for col in range(n_cols):
+            if row % 2 == 1 and col % 2 == 1:
+                continue                       # gap site: stays empty
+            _add_tile(fp, placed, _TILE_W * col, _TILE_H * row)
+            max_col = max(max_col, col)
+            placed += 1
+            if placed >= n_tiles:
+                break
+        row += 1
+    fp.add("shared_mem", Rect(0.0, _TILE_H * row,
+                              _TILE_W * (max_col + 1), _SHARED_H))
+    return fp
+
+
 def build_chip(sim_clock: Callable[[], float], n_tiles: int = 3,
                config: PlatformConfig = CONF1_STREAMING,
                sim=None) -> Chip:

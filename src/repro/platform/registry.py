@@ -15,8 +15,10 @@ without touching the experiment runner::
 
 :data:`floorplan_registry` maps topology family names (the
 ``PlatformConfig.topology`` field) to floorplan generators
-``f(n_tiles) -> Floorplan``: the paper's ``row`` of tiles and the 2-D
-``grid``.  Floorplans are generated for any core count, so a
+``f(n_tiles) -> Floorplan``: the paper's ``row`` of tiles, the 2-D
+``grid``, the asymmetric ``lshape`` and the ``grid-gap`` mesh with
+unpopulated hotspot-gap sites.  Floorplans are generated for any core
+count, so a
 registered platform combined with ``ExperimentConfig(n_cores=N)``
 yields an N-core chip and matching RC thermal network in either
 topology.
@@ -33,6 +35,8 @@ from repro.platform.presets import (
     PlatformConfig,
     build_floorplan,
     build_grid_floorplan,
+    build_grid_gap_floorplan,
+    build_lshape_floorplan,
 )
 from repro.registry import Registry, register_value
 
@@ -51,6 +55,8 @@ def register_floorplan(name: str, generator=None):
 
 register_floorplan("row", build_floorplan)
 register_floorplan("grid", build_grid_floorplan)
+register_floorplan("lshape", build_lshape_floorplan)
+register_floorplan("grid-gap", build_grid_gap_floorplan)
 
 
 def register_platform(name: str,
@@ -74,3 +80,9 @@ register_platform("conf1-grid",
 register_platform("conf2-grid",
                   replace(CONF2_ARM11, name="Conf2-ARM11-grid",
                           topology="grid"))
+register_platform("conf1-lshape",
+                  replace(CONF1_STREAMING, name="Conf1-RISC32-lshape",
+                          topology="lshape"))
+register_platform("conf1-gridgap",
+                  replace(CONF1_STREAMING, name="Conf1-RISC32-gridgap",
+                          topology="grid-gap"))

@@ -13,6 +13,7 @@ Concrete registries live beside the things they register:
 * ``repro.streaming.registry``  — ``@register_workload``
 * ``repro.platform.registry``   — ``@register_platform``
 * ``repro.thermal.registry``    — ``@register_package``
+* ``repro.thermal.solvers``     — ``@register_solver``
 * ``repro.campaign.spec``       — ``@register_campaign``
 
 Registering a new scenario never requires touching the runner::

@@ -1,51 +1,54 @@
-"""Integrators for the thermal ODE.
+"""Dense integrators for the thermal ODE.
 
-Two implementations with the same ``advance(temps, block_power, dt)``
-interface:
+Two implementations of the :class:`~repro.thermal.solvers.ThermalSolver`
+interface (``advance(temps, block_power, dt)`` +
+``steady_state(block_power)``):
 
-* :class:`ExactIntegrator` — because the network is linear and the power
-  is piecewise constant over a sensor interval, the interval can be
-  integrated *exactly*: ``T(t+h) = T_ss + expm(-C^-1 K h) (T(t) - T_ss)``
-  with ``T_ss`` the steady state under the interval-average power.  The
-  matrix exponential is precomputed per step size, so a step costs one
+* :class:`ExactIntegrator` (registered as ``dense-exact``) — because
+  the network is linear and the power is piecewise constant over a
+  sensor interval, the interval can be integrated *exactly*:
+  ``T(t+h) = T_ss + expm(-C^-1 K h) (T(t) - T_ss)`` with ``T_ss`` the
+  steady state under the interval-average power.  The matrix
+  exponential is precomputed per step size, so a step costs one
   pre-factored solve and one mat-vec.
-* :class:`EulerIntegrator` — plain forward Euler with automatic
-  sub-stepping below the stability bound; exists to cross-validate the
-  exact integrator in tests and for users who modify the network
-  time-dependently.
+* :class:`EulerIntegrator` (registered as ``euler``) — plain forward
+  Euler with automatic sub-stepping below the stability bound; exists
+  to cross-validate the exact integrators in tests and for users who
+  modify the network time-dependently.
+
+The scalable solvers (``sparse-exact``, ``reduced``) live in
+:mod:`repro.thermal.solvers` next to the solver registry.  One-time
+per-network artifacts (here: the dense propagators) are shared through
+the process-wide :data:`repro.thermal.cache.shared_artifacts` cache, so
+campaign runs over the same platform/package compute each matrix
+exponential once per worker.
 """
 
 from __future__ import annotations
 
-import hashlib
-from collections import OrderedDict
 from typing import Dict, Tuple
 
 import numpy as np
 from scipy.linalg import expm, lu_factor, lu_solve
 
+from repro.thermal.cache import clear_artifact_cache, shared_artifacts
 from repro.thermal.rc_network import RCNetwork
-
-#: Process-wide propagator cache keyed by (state-matrix digest, dt),
-#: in least-recently-used order (oldest first).  Campaign runs over the
-#: same platform/package share the RC network numerically, so every run
-#: after the first skips the ``expm`` — this is what lets a campaign
-#: worker amortize the propagator across runs.  On overflow only the
-#: LRU entry is evicted: a campaign's working set (one entry per
-#: distinct network x step size) stays warm even when a long sweep
-#: cycles through more than ``_SHARED_PROPAGATORS_MAX`` propagators.
-_SHARED_PROPAGATORS: "OrderedDict[Tuple[bytes, float], np.ndarray]" = \
-    OrderedDict()
-_SHARED_PROPAGATORS_MAX = 256
 
 
 def clear_propagator_cache() -> None:
-    """Drop the process-wide propagator cache (mainly for tests)."""
-    _SHARED_PROPAGATORS.clear()
+    """Drop the process-wide solver artifact cache (mainly for tests).
+
+    Kept under its historical name; the cache now holds every solver's
+    per-network artifacts, not just the dense propagators.
+    """
+    clear_artifact_cache()
 
 
 class ExactIntegrator:
     """Exact piecewise-constant-input integrator for the linear network."""
+
+    #: Registry name (see :data:`repro.thermal.solvers.solver_registry`).
+    name = "dense-exact"
 
     def __init__(self, network: RCNetwork):
         self.network = network
@@ -54,28 +57,21 @@ class ExactIntegrator:
         # -C^-1 K, the state matrix of dT/dt = A T + C^-1 (P + b).
         self._state_matrix = -(network.conductance
                                / network.capacitance[:, None])
-        self._state_digest = hashlib.sha1(
-            self._state_matrix.tobytes()).digest()
+        self._digest = network.digest()
 
     def _propagator(self, dt: float) -> np.ndarray:
         """``expm(A * dt)`` cached per distinct step size.
 
-        Backed by a process-wide cache keyed on the state matrix, so
-        integrators over identical networks (e.g. the runs of one
-        campaign sweep) compute each matrix exponential once.
+        Backed by the process-wide artifact cache keyed on the state
+        matrix, so integrators over identical networks (e.g. the runs
+        of one campaign sweep) compute each matrix exponential once.
         """
         key = round(float(dt), 12)
         prop = self._propagators.get(key)
         if prop is None:
-            shared_key = (self._state_digest, key)
-            prop = _SHARED_PROPAGATORS.get(shared_key)
-            if prop is None:
-                prop = expm(self._state_matrix * float(dt))
-                while len(_SHARED_PROPAGATORS) >= _SHARED_PROPAGATORS_MAX:
-                    _SHARED_PROPAGATORS.popitem(last=False)
-            else:
-                _SHARED_PROPAGATORS.pop(shared_key)
-            _SHARED_PROPAGATORS[shared_key] = prop
+            prop = shared_artifacts.get_or_build(
+                (self.name, self._digest, key),
+                lambda: expm(self._state_matrix * float(dt)))
             self._propagators[key] = prop
         return prop
 
@@ -95,11 +91,18 @@ class ExactIntegrator:
 class EulerIntegrator:
     """Forward Euler with stability-bounded sub-steps."""
 
+    #: Registry name (see :data:`repro.thermal.solvers.solver_registry`).
+    name = "euler"
+
     def __init__(self, network: RCNetwork, safety: float = 0.2):
         if not 0 < safety <= 1:
             raise ValueError("safety factor must lie in (0, 1]")
         self.network = network
         self.max_substep = safety * network.min_time_constant()
+
+    def steady_state(self, block_power: np.ndarray) -> np.ndarray:
+        """Equilibrium for constant power (direct dense solve)."""
+        return self.network.steady_state(block_power)
 
     def advance(self, temps: np.ndarray, block_power: np.ndarray,
                 dt: float) -> np.ndarray:
@@ -115,7 +118,7 @@ class EulerIntegrator:
 
 def integrator_agreement(network: RCNetwork, block_power: np.ndarray,
                          duration: float, dt: float) -> Tuple[float, float]:
-    """Max per-node disagreement between the two integrators.
+    """Max per-node disagreement between the two dense integrators.
 
     Returns ``(max_abs_error_c, final_mean_temp_c)``; used by validation
     tests and by :mod:`repro.thermal.calibration` reports.

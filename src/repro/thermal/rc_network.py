@@ -14,7 +14,7 @@ methodology the paper relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.platform.floorplan import Floorplan
 from repro.thermal.package import ThermalPackageParams
 
 PACKAGE_NODE = "__package__"
+
+#: COO-style conductance triplets: (rows, cols, values).
+ConductanceTriplets = Tuple[List[int], List[int], List[float]]
 
 
 class RCNetwork:
@@ -44,12 +47,15 @@ class RCNetwork:
 
     def __init__(self, node_names: Sequence[str], capacitance: np.ndarray,
                  conductance: np.ndarray, ambient_vector: np.ndarray,
-                 ambient_c: float):
+                 ambient_c: float,
+                 conductance_triplets: Optional[ConductanceTriplets] = None):
         self.node_names = list(node_names)
         self.capacitance = np.asarray(capacitance, dtype=float)
         self.conductance = np.asarray(conductance, dtype=float)
         self.ambient_vector = np.asarray(ambient_vector, dtype=float)
         self.ambient_c = float(ambient_c)
+        self._triplets = conductance_triplets
+        self._sparse = None
         n = len(self.node_names)
         if self.capacitance.shape != (n,):
             raise ValueError("capacitance vector shape mismatch")
@@ -104,6 +110,55 @@ class RCNetwork:
         """Smallest node time constant — the Euler stability bound."""
         return float(np.min(self.capacitance / np.diag(self.conductance)))
 
+    # ------------------------------------------------------------------
+    # sparse views (the scalable-solver fast path)
+    # ------------------------------------------------------------------
+    def conductance_sparse(self):
+        """``K`` as a cached ``scipy.sparse.csr_matrix``.
+
+        Built from the O(nnz) assembly triplets when the network came
+        out of :func:`build_network`; a directly constructed network
+        falls back to converting the dense matrix.  The dense
+        ``conductance`` stays the source of truth for the dense solver
+        (summation order there is untouched); the sparse view may
+        differ from it at float round-off level only.
+        """
+        if self._sparse is None:
+            import scipy.sparse as sp
+            n = self.n_nodes
+            if self._triplets is not None:
+                rows, cols, vals = self._triplets
+                self._sparse = sp.coo_matrix(
+                    (vals, (rows, cols)), shape=(n, n)).tocsr()
+            else:
+                self._sparse = sp.csr_matrix(self.conductance)
+        return self._sparse
+
+    def symmetrized_operator(self):
+        """``(c_sqrt, M)`` with ``M = C^-1/2 K C^-1/2`` (sparse CSR).
+
+        The state matrix ``A = -C^-1 K`` is similar to ``-M`` via
+        ``C^1/2``, and ``M`` is symmetric positive definite, so solvers
+        can work with a real non-negative spectrum: Chebyshev expansion
+        of the propagator (sparse-exact) and orthogonal modal
+        decomposition (reduced) both rely on this form.
+        """
+        import scipy.sparse as sp
+        c_sqrt = np.sqrt(self.capacitance)
+        scale = sp.diags(1.0 / c_sqrt)
+        m = sp.csr_matrix(scale @ self.conductance_sparse() @ scale)
+        return c_sqrt, m
+
+    def digest(self) -> bytes:
+        """Stable fingerprint of the network numerics (cache keying)."""
+        import hashlib
+        h = hashlib.sha1()
+        h.update(self.capacitance.tobytes())
+        h.update(self.conductance.tobytes())
+        h.update(self.ambient_vector.tobytes())
+        h.update(np.float64(self.ambient_c).tobytes())
+        return h.digest()
+
 
 def build_network(floorplan: Floorplan, block_names: Sequence[str],
                   params: ThermalPackageParams,
@@ -113,6 +168,11 @@ def build_network(floorplan: Floorplan, block_names: Sequence[str],
     ``block_names`` fixes the node ordering (it must match the chip's
     block order so power vectors line up).  Every named block must exist
     in the floorplan; floorplan blocks not listed are ignored.
+
+    The conductance Laplacian is assembled twice in one pass: densely
+    (unchanged summation order — the dense-exact solver stays
+    bit-for-bit reproducible) and as O(nnz) COO triplets that feed the
+    sparse solvers without ever scanning an N x N matrix.
     """
     names: List[str] = list(block_names)
     for name in names:
@@ -125,35 +185,43 @@ def build_network(floorplan: Floorplan, block_names: Sequence[str],
     capacitance = np.zeros(n)
     conductance = np.zeros((n, n))
     ambient_vector = np.zeros(n)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+
+    def leg(i: int, j: int, g: float) -> None:
+        """One conduction leg between nodes ``i`` and ``j``."""
+        conductance[i, i] += g
+        conductance[j, j] += g
+        conductance[i, j] -= g
+        conductance[j, i] -= g
+        rows.extend((i, j, i, j))
+        cols.extend((i, j, j, i))
+        vals.extend((g, g, -g, -g))
 
     # Vertical legs: block <-> package, plus block capacitances.
     for name in names:
         i = index[name]
         area = floorplan.area_mm2(name)
-        g_v = 1.0 / params.block_vertical_resistance(area)
         capacitance[i] = params.block_capacitance(area)
-        conductance[i, i] += g_v
-        conductance[pkg, pkg] += g_v
-        conductance[i, pkg] -= g_v
-        conductance[pkg, i] -= g_v
+        leg(i, pkg, 1.0 / params.block_vertical_resistance(area))
 
     # Lateral legs between abutting blocks.
     for a, b, edge in floorplan.adjacencies():
         if a not in index or b not in index:
             continue
         dist = floorplan.rect(a).center_distance_mm(floorplan.rect(b))
-        g_l = params.k_lateral_w_per_k * edge / dist
-        i, j = index[a], index[b]
-        conductance[i, i] += g_l
-        conductance[j, j] += g_l
-        conductance[i, j] -= g_l
-        conductance[j, i] -= g_l
+        leg(index[a], index[b], params.k_lateral_w_per_k * edge / dist)
 
     # Package node: capacity and leg to ambient.
     capacitance[pkg] = params.package_capacitance
     g_amb = 1.0 / params.r_package_k_per_w
     conductance[pkg, pkg] += g_amb
+    rows.append(pkg)
+    cols.append(pkg)
+    vals.append(g_amb)
     ambient_vector[pkg] = g_amb
 
     return RCNetwork(names + [PACKAGE_NODE], capacitance, conductance,
-                     ambient_vector, ambient_c)
+                     ambient_vector, ambient_c,
+                     conductance_triplets=(rows, cols, vals))

@@ -20,8 +20,8 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.sim.rng import SimRandom
 from repro.sim.trace import TraceRecorder
-from repro.thermal.integrator import ExactIntegrator
 from repro.thermal.rc_network import RCNetwork
+from repro.thermal.solvers import DEFAULT_SOLVER, make_solver
 
 #: The sensor update period stated in Sec. 4 of the paper.
 DEFAULT_SENSOR_PERIOD_S = 0.010
@@ -45,13 +45,19 @@ class ThermalSubsystem:
     noise_sigma_c:
         Optional Gaussian sensor noise (applied to *published* values
         only, never to the integrator state), with a deterministic RNG.
+    solver:
+        Thermal solver name, resolved through
+        :data:`~repro.thermal.solvers.solver_registry` (default
+        ``dense-exact``, the paper's exact dense integrator; pick
+        ``sparse-exact`` or ``reduced`` for large floorplans).
     """
 
     def __init__(self, sim: Simulator, chip: Chip, network: RCNetwork,
                  period_s: float = DEFAULT_SENSOR_PERIOD_S,
                  trace: Optional[TraceRecorder] = None,
                  noise_sigma_c: float = 0.0,
-                 rng: Optional[SimRandom] = None):
+                 rng: Optional[SimRandom] = None,
+                 solver: str = DEFAULT_SOLVER):
         if network.n_blocks != chip.n_blocks:
             raise ValueError(
                 f"network has {network.n_blocks} blocks, chip has "
@@ -63,7 +69,8 @@ class ThermalSubsystem:
         self.trace = trace
         self.noise_sigma_c = float(noise_sigma_c)
         self.rng = rng or SimRandom(0)
-        self.integrator = ExactIntegrator(network)
+        self.solver_name = str(solver)
+        self.integrator = make_solver(self.solver_name, network)
         self.temps = network.initial_temperatures()
         self._listeners: List[TemperatureListener] = []
         self._core_indices = chip.core_block_indices()

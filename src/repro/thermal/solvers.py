@@ -1,0 +1,343 @@
+"""Pluggable thermal solvers.
+
+A *solver* turns an :class:`~repro.thermal.rc_network.RCNetwork` into
+an object that can advance the thermal state over a sensor interval::
+
+    class ThermalSolver:                      # duck-typed protocol
+        name: str
+        def advance(temps, block_power, dt) -> np.ndarray: ...
+        def steady_state(block_power) -> np.ndarray: ...
+
+Solvers are resolved by name through :data:`solver_registry` — the
+``solver`` field of :class:`~repro.experiments.config.ExperimentConfig`
+and the ``--solver`` CLI flag everywhere ``--backend`` exists.  The
+built-ins:
+
+* ``dense-exact`` — the default.  Dense matrix exponential per
+  (network, dt); exact, and bit-for-bit identical to the historical
+  integrator, but O(N^3) to build: the cost that dominates large
+  floorplans.
+* ``euler`` — forward Euler with stability-bounded sub-steps
+  (cross-validation and time-varying networks).
+* ``sparse-exact`` — assembles the RC network as ``scipy.sparse`` and
+  applies the propagator through a Chebyshev expansion of
+  ``exp(-dt * M)`` on the symmetrized operator ``M = C^-1/2 K C^-1/2``
+  (spectrum bounded via Gershgorin, coefficients cut at double
+  precision).  No N x N exponential is ever formed: setup is O(nnz)
+  and a step costs ~a dozen sparse mat-vecs, which turns minutes of
+  dense ``expm`` time on a 16 x 16 grid into milliseconds.
+* ``reduced`` — modal truncation: one symmetric eigendecomposition per
+  network (shared across *all* step sizes), keeping only modes slow
+  enough to matter over a sensor interval; the documented truncation
+  error bound (:attr:`ReducedOrderIntegrator.error_bound_c`) is
+  checked at build time.
+
+Registering a custom solver follows the scenario-registry pattern::
+
+    from repro.thermal.solvers import register_solver
+
+    @register_solver("my-solver")
+    def _build(network):
+        return MySolver(network)      # any object with advance/steady_state
+
+    ExperimentConfig(solver="my-solver")      # resolves end-to-end
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.registry import Registry
+from repro.thermal.cache import shared_artifacts
+from repro.thermal.integrator import EulerIntegrator, ExactIntegrator
+from repro.thermal.rc_network import RCNetwork
+
+#: Name -> factory ``f(network) -> solver``.
+solver_registry = Registry("solver")
+
+#: The default solver — the paper's exact dense integrator.
+DEFAULT_SOLVER = "dense-exact"
+
+
+def register_solver(name: str):
+    """Decorator registering a solver factory ``f(network) -> solver``."""
+    return solver_registry.register(name)
+
+
+def make_solver(name: str, network: RCNetwork):
+    """Instantiate the named solver for ``network`` (typo-friendly)."""
+    return solver_registry.resolve(name)(network)
+
+
+class ThermalSolver:
+    """Optional base class documenting the solver interface.
+
+    Solvers are duck-typed — anything with ``advance`` and
+    ``steady_state`` works; subclassing only buys the shared ``dt``
+    validation helper.
+    """
+
+    #: Registry name (shown in reports and cache keys).
+    name: str = "abstract"
+
+    def advance(self, temps: np.ndarray, block_power: np.ndarray,
+                dt: float) -> np.ndarray:
+        """Temperatures after ``dt`` seconds of constant power."""
+        raise NotImplementedError
+
+    def steady_state(self, block_power: np.ndarray) -> np.ndarray:
+        """Equilibrium temperatures for constant power."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_dt(dt: float) -> float:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        return float(dt)
+
+
+# ----------------------------------------------------------------------
+# sparse-exact: Krylov-free Chebyshev propagation on the sparse network
+# ----------------------------------------------------------------------
+class SparseExactIntegrator(ThermalSolver):
+    """Exact integration that never forms a dense matrix exponential.
+
+    Works in the symmetric coordinates ``y = C^1/2 T`` where the
+    propagator is ``exp(-dt * M)`` with ``M = C^-1/2 K C^-1/2``
+    symmetric positive definite.  Because the spectrum of ``M`` lies in
+    ``[0, lambda_max]`` (``lambda_max`` from a Gershgorin bound), the
+    propagator expands in Chebyshev polynomials::
+
+        exp(-z(1+X)) = e^-z [I_0(z) + 2 sum_k (-1)^k I_k(z) T_k(X)]
+
+    with ``z = dt * lambda_max / 2`` and ``X = (2/lambda_max) M - I``
+    scaled to spectrum ``[-1, 1]``.  The (scaled) Bessel coefficients
+    decay superexponentially past ``k > z``, so truncating at relative
+    ``1e-16`` reproduces the exact propagator to double precision —
+    this is an *exact* method in the same sense as ``dense-exact``, not
+    a time discretization.  Per (network, dt) the coefficient vector is
+    cached process-wide; each step then costs ``len(coefs)`` sparse
+    mat-vecs plus one pre-factored sparse solve for the steady state.
+    """
+
+    name = "sparse-exact"
+
+    #: Relative cut-off for the Chebyshev coefficient tail.
+    COEF_TOL = 1e-16
+
+    def __init__(self, network: RCNetwork):
+        from scipy.sparse.linalg import splu
+
+        self.network = network
+        digest = network.digest()
+        # The pre-factored steady-state solve is shared with the
+        # reduced solver (same factorization), hence the neutral key.
+        self._splu = shared_artifacts.get_or_build(
+            ("sparse-splu", digest),
+            lambda: splu(network.conductance_sparse().tocsc()))
+        self._c_sqrt, self._scaled_op, self._lambda_max = \
+            shared_artifacts.get_or_build(
+                (self.name, digest, "operator"), self._build_operator)
+        self._digest = digest
+        self._coefs: Dict[float, np.ndarray] = {}
+
+    def _build_operator(self):
+        import scipy.sparse as sp
+
+        c_sqrt, m = self.network.symmetrized_operator()
+        # Gershgorin: every eigenvalue of the symmetric M lies within
+        # max_i sum_j |M_ij| of zero, and M is PSD, so the spectrum
+        # fits in [0, lambda_max].
+        lambda_max = float(np.max(np.abs(m).sum(axis=1)))
+        if lambda_max <= 0:
+            raise ValueError("thermal network has an empty spectrum")
+        scaled = sp.csr_matrix(
+            (2.0 / lambda_max) * m
+            - sp.identity(m.shape[0], format="csr"))
+        return c_sqrt, scaled, lambda_max
+
+    def _coefficients(self, dt: float) -> np.ndarray:
+        """Chebyshev coefficients of ``exp(-dt M)``, cached per dt."""
+        key = round(float(dt), 12)
+        coefs = self._coefs.get(key)
+        if coefs is None:
+            coefs = shared_artifacts.get_or_build(
+                (self.name, self._digest, key),
+                lambda: self._build_coefficients(key))
+            self._coefs[key] = coefs
+        return coefs
+
+    def _build_coefficients(self, dt: float) -> np.ndarray:
+        from scipy.special import ive
+
+        z = dt * self._lambda_max / 2.0
+        # ive(k, z) = I_k(z) * e^-z is exactly the scaled coefficient;
+        # the tail decays superexponentially once k exceeds z.
+        coefs = [float(ive(0, z))]
+        k = 1
+        while True:
+            c = 2.0 * float(ive(k, z)) * (-1.0 if k % 2 else 1.0)
+            coefs.append(c)
+            if k > z and abs(c) < self.COEF_TOL:
+                break
+            k += 1
+        return np.asarray(coefs)
+
+    def propagate_deviation(self, deviation: np.ndarray,
+                            dt: float) -> np.ndarray:
+        """``expm(A dt) @ deviation`` via the Chebyshev recurrence."""
+        coefs = self._coefficients(dt)
+        x = self._scaled_op
+        t0 = self._c_sqrt * deviation
+        acc = coefs[0] * t0
+        if len(coefs) > 1:
+            t1 = x @ t0
+            acc = acc + coefs[1] * t1
+            for c in coefs[2:]:
+                t0, t1 = t1, 2.0 * (x @ t1) - t0
+                acc += c * t1
+        return acc / self._c_sqrt
+
+    def steady_state(self, block_power: np.ndarray) -> np.ndarray:
+        return self._splu.solve(
+            self.network.forcing_vector(block_power))
+
+    def advance(self, temps: np.ndarray, block_power: np.ndarray,
+                dt: float) -> np.ndarray:
+        dt = self._check_dt(dt)
+        t_ss = self.steady_state(block_power)
+        return t_ss + self.propagate_deviation(temps - t_ss, dt)
+
+
+# ----------------------------------------------------------------------
+# reduced: modal truncation of the linear network
+# ----------------------------------------------------------------------
+class ReducedOrderIntegrator(ThermalSolver):
+    """Modal reduction with a build-time-checked error bound.
+
+    One symmetric eigendecomposition ``M V = V diag(lambda)`` of the
+    symmetrized operator is computed per network (and shared across
+    *every* step size — unlike the dense propagator, which is rebuilt
+    per dt).  The steady state is solved exactly (sparse LU); only the
+    *deviation* from it is propagated, mode by mode, as
+    ``y_i(t+dt) = exp(-lambda_i dt) y_i(t)``.
+
+    Truncation drops the fastest modes: any mode with
+    ``exp(-lambda_i * dt_ref) <= drop_tol`` has decayed below
+    ``drop_tol`` of its amplitude within one reference interval, so
+    zeroing it immediately changes a step's result by at most
+
+        ``error_bound_c = temp_range_c * exp(-lambda_drop * dt_ref)``
+
+    in any node temperature, where ``lambda_drop`` is the slowest
+    *dropped* mode and ``temp_range_c`` bounds the C-weighted deviation
+    amplitude (modes are decoupled, so the error does not accumulate
+    across steps beyond this per-step bound).  The bound is evaluated
+    at construction and the build **fails** if it exceeds
+    ``max_error_c`` — a mis-tuned reduction is rejected before it can
+    corrupt a campaign.  The bound is certified for steps
+    ``dt >= dt_ref`` only (longer steps decay dropped modes further);
+    :meth:`advance` rejects shorter steps when modes were dropped, so
+    build ``dt_ref`` at or below the sensor period in use.  ``n_modes`` forces a fixed-size basis for
+    aggressive reduction experiments (the same check applies; pass
+    ``max_error_c=None`` to accept the bound as documentation only).
+    """
+
+    name = "reduced"
+
+    def __init__(self, network: RCNetwork, dt_ref: float = 0.01,
+                 drop_tol: float = 1e-12,
+                 n_modes: Optional[int] = None,
+                 max_error_c: Optional[float] = 1e-6,
+                 temp_range_c: float = 100.0):
+        from scipy.sparse.linalg import splu
+
+        if dt_ref <= 0:
+            raise ValueError("dt_ref must be positive")
+        if not 0 < drop_tol < 1:
+            raise ValueError("drop_tol must lie in (0, 1)")
+        self.network = network
+        self.dt_ref = float(dt_ref)
+        digest = network.digest()
+        self._splu = shared_artifacts.get_or_build(
+            ("sparse-splu", digest),
+            lambda: splu(network.conductance_sparse().tocsc()))
+        eigenvalues, eigenvectors, c_sqrt = shared_artifacts.get_or_build(
+            (self.name, digest, "modes"), self._build_modes)
+
+        if n_modes is None:
+            # Keep every mode still alive (above drop_tol) after one
+            # reference interval; always keep at least one.
+            lambda_cut = np.log(1.0 / drop_tol) / self.dt_ref
+            n_modes = max(1, int(np.searchsorted(eigenvalues, lambda_cut,
+                                                 side="right")))
+        if not 1 <= n_modes <= len(eigenvalues):
+            raise ValueError(
+                f"n_modes must lie in [1, {len(eigenvalues)}], "
+                f"got {n_modes}")
+        self.n_modes = int(n_modes)
+        self.n_dropped = len(eigenvalues) - self.n_modes
+        self._eigenvalues = eigenvalues[:self.n_modes]
+        self._basis = eigenvectors[:, :self.n_modes]
+        self._c_sqrt = c_sqrt
+        self._decay: Dict[float, np.ndarray] = {}
+
+        #: The documented per-step truncation bound (Celsius).
+        self.error_bound_c = (
+            0.0 if self.n_dropped == 0
+            else float(temp_range_c
+                       * np.exp(-eigenvalues[self.n_modes] * self.dt_ref)))
+        if max_error_c is not None and self.error_bound_c > max_error_c:
+            raise ValueError(
+                f"reduced-order truncation bound "
+                f"{self.error_bound_c:.3e} C exceeds max_error_c="
+                f"{max_error_c:.3e} C (keeping {self.n_modes} of "
+                f"{len(eigenvalues)} modes); keep more modes or relax "
+                f"max_error_c")
+
+    def _build_modes(self):
+        from scipy.linalg import eigh
+
+        c_sqrt, m = self.network.symmetrized_operator()
+        # Dense symmetric eigendecomposition: O(N^3) like the dense
+        # expm, but computed once per *network* rather than once per
+        # (network, dt) — and the basis is what truncation needs.
+        eigenvalues, eigenvectors = eigh(m.toarray())
+        # eigh returns ascending eigenvalues: slow modes first.
+        return eigenvalues, eigenvectors, c_sqrt
+
+    def steady_state(self, block_power: np.ndarray) -> np.ndarray:
+        return self._splu.solve(
+            self.network.forcing_vector(block_power))
+
+    def advance(self, temps: np.ndarray, block_power: np.ndarray,
+                dt: float) -> np.ndarray:
+        dt = self._check_dt(dt)
+        if self.n_dropped and dt < self.dt_ref:
+            # The truncation bound was certified for steps >= dt_ref
+            # (a dropped mode decays *more* over a longer step, never
+            # less).  Shorter steps would leave dropped modes with
+            # un-decayed amplitude the bound does not cover.
+            raise ValueError(
+                f"reduced solver dropped {self.n_dropped} mode(s) "
+                f"assuming steps >= dt_ref={self.dt_ref}; got "
+                f"dt={dt}.  Rebuild with dt_ref <= the sensor period")
+        key = round(dt, 12)
+        decay = self._decay.get(key)
+        if decay is None:
+            decay = np.exp(-self._eigenvalues * dt)
+            self._decay[key] = decay
+        t_ss = self.steady_state(block_power)
+        modal = self._basis.T @ (self._c_sqrt * (temps - t_ss))
+        return t_ss + (self._basis @ (decay * modal)) / self._c_sqrt
+
+
+# ----------------------------------------------------------------------
+# built-in registrations
+# ----------------------------------------------------------------------
+solver_registry.register("dense-exact", ExactIntegrator)
+solver_registry.register("euler", EulerIntegrator)
+solver_registry.register("sparse-exact", SparseExactIntegrator)
+solver_registry.register("reduced", ReducedOrderIntegrator)

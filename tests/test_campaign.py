@@ -75,7 +75,21 @@ class TestSweepSpec:
 
     def test_named_campaigns_registered(self):
         assert {"smoke", "threshold-sweep", "fig7", "fig9",
-                "scaling"} <= set(campaign_registry)
+                "scaling", "topology",
+                "floorplan-scaling"} <= set(campaign_registry)
+
+    def test_topology_campaign_sweeps_floorplan_families(self):
+        configs = expand_campaign("topology", ExperimentConfig(**SHORT))
+        platforms = {c.platform for c in configs}
+        assert platforms == {"conf1", "conf1-grid", "conf1-lshape",
+                             "conf1-gridgap"}
+
+    def test_floorplan_scaling_campaign_uses_sparse_solver(self):
+        configs = expand_campaign("floorplan-scaling",
+                                  ExperimentConfig(**SHORT))
+        assert {c.n_cores for c in configs} == {4, 9, 16}
+        assert all(c.solver == "sparse-exact" for c in configs)
+        assert all(c.platform == "conf1-grid" for c in configs)
 
     def test_expand_campaign(self):
         configs = expand_campaign("threshold-sweep",
@@ -236,9 +250,11 @@ class TestExecutionBackends:
         b = a.variant(policy="migra", threshold_c=1.0)     # same network
         c = a.variant(platform="conf2")                    # different
         d = a.variant(n_cores=4, n_bands=4)                # different
+        e = a.variant(solver="sparse-exact")       # different artifacts
         assert network_group_key(a) == network_group_key(b)
         assert network_group_key(a) != network_group_key(c)
         assert network_group_key(a) != network_group_key(d)
+        assert network_group_key(a) != network_group_key(e)
 
     def test_backend_parity_mixed_platform_campaign(self):
         """Acceptance: serial, process-pool and batched backends

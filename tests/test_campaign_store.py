@@ -185,6 +185,81 @@ class TestResultStore:
         assert {p.name for p in out_b.glob("*.json")} == {"h1.json"}
 
 
+class TestStoreDiff:
+    def _seed(self, store):
+        cfg = ExperimentConfig()
+        h1 = cfg.config_hash()
+        h2 = cfg.variant(threshold_c=1.0).config_hash()
+        h3 = cfg.variant(threshold_c=2.0).config_hash()
+        store.put(h1, cfg.to_dict(),
+                  _report(peak_c=60.0), campaign="a")
+        store.put(h1, cfg.to_dict(),
+                  _report(peak_c=61.5), campaign="b")
+        store.put(h2, cfg.to_dict(),
+                  _report(policy="energy", peak_c=70.0), campaign="a")
+        store.put(h2, cfg.to_dict(),
+                  _report(policy="energy", peak_c=70.0), campaign="b")
+        store.put(h3, cfg.to_dict(), _report(), campaign="a")
+        return h1, h2, h3
+
+    def test_shared_rows_get_per_metric_deltas(self):
+        store = ResultStore()
+        h1, h2, h3 = self._seed(store)
+        diff = store.diff("a", "b")
+        assert diff.n_shared == 2
+        assert diff.only_a == [h3] and diff.only_b == []
+        by_hash = {row.config_hash: row for row in diff.rows}
+        assert by_hash[h1].deltas["peak_c"] == pytest.approx(1.5)
+        assert by_hash[h2].deltas["peak_c"] == 0.0
+        # Every numeric record column is present in the deltas.
+        assert "pooled_std_c" in by_hash[h1].deltas
+        assert "deadline_misses" in by_hash[h1].deltas
+        # Non-numeric columns are not.
+        assert "policy" not in by_hash[h1].deltas
+        assert "core_mean_c" not in by_hash[h1].deltas
+
+    def test_where_filters_both_sides(self):
+        store = ResultStore()
+        h1, _h2, _h3 = self._seed(store)
+        diff = store.diff("a", "b", where="policy = 'migra'")
+        assert [row.config_hash for row in diff.rows] == [h1]
+
+    def test_max_abs_delta_and_text(self):
+        store = ResultStore()
+        h1, _h2, h3 = self._seed(store)
+        diff = store.diff("a", "b")
+        assert diff.max_abs_delta("peak_c") == pytest.approx(1.5)
+        text = diff.to_text()
+        assert "2 shared config(s)" in text
+        assert h1 in text and h3 in text
+        assert "only in 'a'" in text
+        custom = diff.to_text(metrics=["peak_c"])
+        assert "d peak_c" in custom
+        with pytest.raises(ValueError, match="unknown metric"):
+            diff.to_text(metrics=["not_a_column"])
+
+    def test_metric_typo_rejected_even_without_shared_rows(self):
+        store = ResultStore()
+        diff = store.diff("empty-a", "empty-b")
+        assert diff.n_shared == 0
+        with pytest.raises(ValueError, match="unknown metric"):
+            diff.to_text(metrics=["bogus_metric"])
+
+    def test_disjoint_campaigns_share_nothing(self):
+        store = ResultStore()
+        cfg = ExperimentConfig()
+        store.put(cfg.config_hash(), cfg.to_dict(), _report(),
+                  campaign="a")
+        other = cfg.variant(threshold_c=1.0)
+        store.put(other.config_hash(), other.to_dict(), _report(),
+                  campaign="b")
+        diff = store.diff("a", "b")
+        assert diff.n_shared == 0
+        assert diff.only_a == [cfg.config_hash()]
+        assert diff.only_b == [other.config_hash()]
+        assert diff.max_abs_delta("peak_c") == 0.0
+
+
 class TestLoadManifest:
     def test_valid(self, tmp_path):
         cfg = ExperimentConfig()

@@ -152,6 +152,26 @@ class TestCampaignCommands:
                      "--measure", "2", "--backend", "serial"]) == 0
         assert "serial backend" in capsys.readouterr().out
 
+    def test_solver_option_parses_everywhere_backend_does(self):
+        parser = build_parser()
+        for command in (["campaign", "smoke"], ["sweep"], ["fig7"],
+                        ["ablation", "top-k"], ["scaling"],
+                        ["run"]):
+            args = parser.parse_args(command
+                                     + ["--solver", "sparse-exact"])
+            assert args.solver == "sparse-exact"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["campaign", "smoke", "--solver", "bogus"])
+
+    def test_campaign_solver_flows_into_configs(self, capsys):
+        import json
+        assert main(["campaign", "smoke", "--warmup", "2",
+                     "--measure", "2", "--solver", "sparse-exact",
+                     "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert all(run["config"]["solver"] == "sparse-exact"
+                   for run in manifest["runs"])
+
 
 class TestResultsCommands:
     def _seed_store(self, tmp_path):
@@ -216,6 +236,45 @@ class TestResultsCommands:
         assert main(["results", "list", "--cache-dir",
                      str(tmp_path / "fresh")]) == 0
         assert "imported" in capsys.readouterr().out
+
+    def test_results_diff_two_campaigns(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        assert main(["campaign", "smoke", "--warmup", "2",
+                     "--measure", "2", "--solver", "euler",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        # The smoke campaign stores both runs under "smoke"; the euler
+        # variant has different config hashes, so diffing the campaign
+        # against itself shows zero deltas over 4 shared rows ...
+        assert main(["results", "diff", "smoke", "smoke",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 shared config(s)" in out
+        # ... and a --where filter narrows both sides.
+        assert main(["results", "diff", "smoke", "smoke",
+                     "--cache-dir", str(tmp_path),
+                     "--where", "policy = 'migra'"]) == 0
+        assert "2 shared config(s)" in capsys.readouterr().out
+
+    def test_results_diff_custom_metrics(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "diff", "smoke", "smoke",
+                     "--cache-dir", str(tmp_path),
+                     "--metrics", "peak_c", "energy_j"]) == 0
+        out = capsys.readouterr().out
+        assert "d peak_c" in out and "d energy_j" in out
+        assert main(["results", "diff", "smoke", "smoke",
+                     "--cache-dir", str(tmp_path),
+                     "--metrics", "bogus_metric"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_results_diff_unknown_campaigns(self, capsys, tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["results", "diff", "nope-a", "nope-b",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "no runs stored" in capsys.readouterr().out
 
     def test_results_export_needs_a_target(self, capsys, tmp_path):
         self._seed_store(tmp_path)

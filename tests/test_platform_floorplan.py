@@ -7,6 +7,8 @@ from repro.platform.floorplan import Floorplan, Rect
 from repro.platform.presets import (
     build_floorplan,
     build_grid_floorplan,
+    build_grid_gap_floorplan,
+    build_lshape_floorplan,
     grid_shape,
 )
 
@@ -222,3 +224,99 @@ class TestGridFloorplan:
         from repro.platform.registry import floorplan_registry
         assert set(floorplan_registry) >= {"row", "grid"}
         assert floorplan_registry.resolve("grid") is build_grid_floorplan
+
+
+class TestLShapeFloorplan:
+    def test_tile_count_and_shape(self):
+        fp = build_lshape_floorplan(5)       # 2-3 bottom, rest upward
+        assert all(f"core{i}" in fp for i in range(5))
+        assert "shared_mem" in fp
+        # The vertical arm stacks above the bottom-left tile ...
+        assert fp.rect("core3").x == fp.rect("core0").x
+        assert fp.rect("core3").y > fp.rect("core0").y
+        # ... and the region diagonal from the corner stays empty: the
+        # bounding box area exceeds the occupied area.
+        assert fp.bounding_box.area_mm2 > fp.total_area_mm2 + 1.0
+
+    def test_corner_tile_couples_to_both_arms(self):
+        fp = build_lshape_floorplan(6)
+        adj = {frozenset((a, b)) for a, b, _e in fp.adjacencies()}
+        assert frozenset(("core0", "core1")) in adj      # along bottom
+        assert frozenset(("pmem0", "core3")) in adj      # up the arm
+
+    def test_small_counts_degenerate_to_row(self):
+        for n in (1, 2):
+            fp = build_lshape_floorplan(n)
+            assert all(fp.rect(f"core{i}").y == 0.0 for i in range(n))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            build_lshape_floorplan(0)
+
+
+class TestGridGapFloorplan:
+    def test_gap_sites_stay_empty(self):
+        fp = build_grid_gap_floorplan(7, n_cols=3)
+        assert all(f"core{i}" in fp for i in range(7))
+        # Site (row 1, col 1) is a gap: no rectangle may cover the
+        # centre of that cell.
+        gap_x, gap_y = 2.0 + 1.0, 3.6 + 1.8   # centre of cell (1, 1)
+        for name in fp.names:
+            r = fp.rect(name)
+            assert not (r.x < gap_x < r.x2 and r.y < gap_y < r.y2), \
+                f"{name} covers the gap site"
+
+    def test_gaps_reduce_adjacency_vs_full_grid(self):
+        """The mesh is less connected around a hole."""
+        full = build_grid_floorplan(9, n_cols=3)
+        gapped = build_grid_gap_floorplan(9, n_cols=3)
+        assert len(gapped.adjacencies()) < len(full.adjacencies())
+
+    def test_shared_mem_sits_on_top(self):
+        fp = build_grid_gap_floorplan(6)
+        top_of_tiles = max(fp.rect(f"core{i}").y2 for i in range(6))
+        assert fp.rect("shared_mem").y >= top_of_tiles - 3.6
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_grid_gap_floorplan(0)
+        with pytest.raises(ValueError):
+            build_grid_gap_floorplan(4, n_cols=0)
+
+    def test_new_families_registered(self):
+        from repro.platform.registry import (
+            floorplan_registry,
+            platform_registry,
+        )
+        assert floorplan_registry.resolve("lshape") \
+            is build_lshape_floorplan
+        assert floorplan_registry.resolve("grid-gap") \
+            is build_grid_gap_floorplan
+        assert platform_registry.resolve("conf1-lshape").topology \
+            == "lshape"
+        assert platform_registry.resolve("conf1-gridgap").topology \
+            == "grid-gap"
+
+
+class TestAdjacencyIndex:
+    """The bucketed adjacency scan must be output-identical to the
+    brute-force all-pairs reference (order and values included): the
+    thermal network assembly — and therefore the dense solver's
+    bit-for-bit reproducibility — depends on it."""
+
+    @pytest.mark.parametrize("build,n", [
+        (build_floorplan, 1),
+        (build_floorplan, 3),
+        (build_grid_floorplan, 9),
+        (build_grid_floorplan, 12),
+        (build_lshape_floorplan, 7),
+        (build_grid_gap_floorplan, 10),
+    ])
+    def test_matches_bruteforce(self, build, n):
+        fp = build(n)
+        assert fp.adjacencies() == fp.adjacencies_bruteforce()
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_matches_bruteforce_any_grid(self, n):
+        fp = build_grid_floorplan(n)
+        assert fp.adjacencies() == fp.adjacencies_bruteforce()

@@ -115,41 +115,89 @@ class TestEulerIntegrator:
 
 
 class TestSharedPropagatorCache:
-    def _digest_count(self):
-        from repro.thermal import integrator
-        return len(integrator._SHARED_PROPAGATORS)
-
-    def test_lru_evicts_one_entry_not_everything(self, network,
-                                                 monkeypatch):
+    def test_lru_evicts_one_entry_not_everything(self, network):
         """Overflow must drop only the least-recently-used propagator:
         a full clear() mid-campaign would throw away the entire warm
         working set."""
-        from repro.thermal import integrator
-        integrator.clear_propagator_cache()
-        monkeypatch.setattr(integrator, "_SHARED_PROPAGATORS_MAX", 4)
-        exact = ExactIntegrator(network)
-        for i in range(4):
-            exact._propagator(0.01 * (i + 1))
-        keys_before = list(integrator._SHARED_PROPAGATORS)
-        assert len(keys_before) == 4
-        # Touch the oldest entry so it becomes most-recently-used ...
-        exact._propagators.clear()
-        exact._propagator(0.01)
-        # ... then overflow: the evictee must be the *second*-oldest.
-        exact._propagator(0.05)
-        keys_after = list(integrator._SHARED_PROPAGATORS)
-        assert len(keys_after) == 4
-        assert keys_before[0] in keys_after      # refreshed, survived
-        assert keys_before[1] not in keys_after  # LRU, evicted
-        integrator.clear_propagator_cache()
+        from repro.thermal.cache import shared_artifacts
+        shared_artifacts.clear()
+        old_max = shared_artifacts.max_entries
+        try:
+            shared_artifacts.configure(max_entries=4)
+            exact = ExactIntegrator(network)
+            for i in range(4):
+                exact._propagator(0.01 * (i + 1))
+            keys_before = list(shared_artifacts._entries)
+            assert len(keys_before) == 4
+            # Touch the oldest entry so it becomes most-recently-used
+            exact._propagators.clear()
+            exact._propagator(0.01)
+            # ... then overflow: the evictee is the *second*-oldest.
+            exact._propagator(0.05)
+            keys_after = list(shared_artifacts._entries)
+            assert len(keys_after) == 4
+            assert keys_before[0] in keys_after      # refreshed
+            assert keys_before[1] not in keys_after  # LRU, evicted
+            assert shared_artifacts.stats().evictions == 1
+        finally:
+            shared_artifacts.configure(max_entries=old_max)
+            shared_artifacts.clear()
 
     def test_shared_across_integrators_same_network(self, network):
         from repro.thermal import integrator
+        from repro.thermal.cache import shared_artifacts
         integrator.clear_propagator_cache()
         a = ExactIntegrator(network)
         b = ExactIntegrator(network)
         prop_a = a._propagator(0.01)
         prop_b = b._propagator(0.01)
         assert prop_a is prop_b
-        assert self._digest_count() == 1
+        assert len(shared_artifacts) == 1
+        stats = shared_artifacts.stats()
+        assert stats.misses == 1      # a built the propagator ...
+        assert stats.hits == 1        # ... and b reused it
         integrator.clear_propagator_cache()
+
+
+class TestArtifactCache:
+    def test_counters_and_lru(self):
+        from repro.thermal.cache import ArtifactCache
+        cache = ArtifactCache(max_entries=2)
+        assert cache.get("a") is None                 # miss
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1                    # hit + refresh
+        cache.put("c", 3)                             # evicts "b" (LRU)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 1)
+        assert stats.size == 2 and stats.max_entries == 2
+        assert 0 < stats.hit_rate < 1
+        assert "2 hits" in stats.to_text()
+
+    def test_max_entries_from_environment(self, monkeypatch):
+        from repro.thermal.cache import (
+            ArtifactCache,
+            CACHE_SIZE_ENV,
+            DEFAULT_MAX_ENTRIES,
+        )
+        monkeypatch.setenv(CACHE_SIZE_ENV, "7")
+        assert ArtifactCache().max_entries == 7
+        monkeypatch.setenv(CACHE_SIZE_ENV, "not-a-number")
+        assert ArtifactCache().max_entries == DEFAULT_MAX_ENTRIES
+        monkeypatch.setenv(CACHE_SIZE_ENV, "0")
+        assert ArtifactCache().max_entries == 1   # clamped, never zero
+        monkeypatch.delenv(CACHE_SIZE_ENV)
+        assert ArtifactCache().max_entries == DEFAULT_MAX_ENTRIES
+
+    def test_configure_rereads_environment_and_shrinks(self, monkeypatch):
+        from repro.thermal.cache import ArtifactCache, CACHE_SIZE_ENV
+        cache = ArtifactCache(max_entries=8)
+        for i in range(6):
+            cache.put(i, i)
+        monkeypatch.setenv(CACHE_SIZE_ENV, "3")
+        cache.configure()
+        assert cache.max_entries == 3
+        assert len(cache) == 3
+        assert cache.get(5) == 5      # most-recent entries survived

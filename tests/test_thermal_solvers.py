@@ -1,0 +1,288 @@
+"""Solver registry + parity tests: every registered solver against
+``dense-exact`` on the paper platforms and a grid platform, and
+EulerIntegrator cross-validation on the new floorplan families."""
+
+import numpy as np
+import pytest
+
+from repro.platform.presets import (
+    CONF1_STREAMING,
+    CONF2_ARM11,
+    build_floorplan,
+    build_grid_floorplan,
+    build_grid_gap_floorplan,
+    build_lshape_floorplan,
+)
+from repro.thermal.cache import clear_artifact_cache, shared_artifacts
+from repro.thermal.integrator import (
+    EulerIntegrator,
+    ExactIntegrator,
+    integrator_agreement,
+)
+from repro.thermal.package import HIGH_PERFORMANCE, MOBILE_EMBEDDED
+from repro.thermal.rc_network import build_network
+from repro.thermal.solvers import (
+    DEFAULT_SOLVER,
+    ReducedOrderIntegrator,
+    SparseExactIntegrator,
+    make_solver,
+    solver_registry,
+)
+
+#: Per-solver trajectory tolerance against dense-exact (Celsius).
+#: sparse-exact and reduced are exact methods (round-off only);
+#: forward Euler is first-order at its default stability-bound step,
+#: so it carries a fraction-of-a-degree tolerance (the dedicated
+#: cross-validation in test_thermal_integrator runs it tighter with a
+#: smaller safety factor).
+TOLERANCES = {
+    "dense-exact": 0.0,
+    "sparse-exact": 1e-8,
+    "reduced": 1e-8,
+    "euler": 0.5,
+}
+
+#: (floorplan, n_tiles, package) triples covering the paper's two
+#: configurations plus a 2-D grid platform.
+NETWORK_CASES = [
+    pytest.param(build_floorplan, 3, MOBILE_EMBEDDED, id="conf1-mobile"),
+    pytest.param(build_floorplan, 3, HIGH_PERFORMANCE,
+                 id="conf2-highperf"),
+    pytest.param(build_grid_floorplan, 9, MOBILE_EMBEDDED,
+                 id="grid3x3-mobile"),
+]
+
+
+def _network(build, n_tiles, package):
+    fp = build(n_tiles)
+    return build_network(fp, list(fp.names), package, ambient_c=35.0)
+
+
+def _trajectory(solver, network, steps=250, dt=0.01):
+    """Advance with a deterministic time-varying power pattern."""
+    temps = network.initial_temperatures()
+    n = network.n_blocks
+    out = []
+    for step in range(steps):
+        power = 0.25 * (1.0 + np.sin(step / 13.0 + np.arange(n)))
+        temps = solver.advance(temps, power, dt)
+        out.append(temps.copy())
+    return np.asarray(out)
+
+
+class TestSolverRegistry:
+    def test_builtins_registered(self):
+        assert {"dense-exact", "euler", "sparse-exact",
+                "reduced"} <= set(solver_registry)
+
+    def test_default_is_the_paper_integrator(self):
+        fp = build_floorplan(3)
+        net = build_network(fp, list(fp.names), MOBILE_EMBEDDED)
+        assert isinstance(make_solver(DEFAULT_SOLVER, net),
+                          ExactIntegrator)
+
+    def test_unknown_solver_lists_names(self):
+        fp = build_floorplan(3)
+        net = build_network(fp, list(fp.names), MOBILE_EMBEDDED)
+        with pytest.raises(ValueError, match="sparse-exact"):
+            make_solver("quantum", net)
+
+    def test_custom_solver_resolves_through_config(self):
+        from repro.experiments.config import ExperimentConfig
+        with solver_registry.temporarily("custom", ExactIntegrator):
+            config = ExperimentConfig(solver="custom")
+            assert config.solver == "custom"
+        with pytest.raises(ValueError, match="unknown solver"):
+            ExperimentConfig(solver="custom")
+
+    def test_config_defaults_to_dense_exact(self):
+        from repro.experiments.config import ExperimentConfig
+        assert ExperimentConfig().solver == "dense-exact"
+        # Pre-solver manifests (no "solver" key) must still load.
+        data = ExperimentConfig().to_dict()
+        del data["solver"]
+        assert ExperimentConfig.from_dict(data).solver == "dense-exact"
+
+    def test_solver_changes_config_hash(self):
+        from repro.experiments.config import ExperimentConfig
+        a = ExperimentConfig()
+        b = ExperimentConfig(solver="sparse-exact")
+        assert a.config_hash() != b.config_hash()
+
+
+class TestSolverParity:
+    @pytest.mark.parametrize("build,n_tiles,package", NETWORK_CASES)
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_trajectory_matches_dense_exact(self, name, build, n_tiles,
+                                            package):
+        assert set(TOLERANCES) == set(solver_registry.names()), \
+            "new solver registered without a parity tolerance"
+        network = _network(build, n_tiles, package)
+        reference = _trajectory(ExactIntegrator(network), network)
+        candidate = _trajectory(make_solver(name, network), network)
+        worst = float(np.max(np.abs(candidate - reference)))
+        assert worst <= TOLERANCES[name], \
+            f"{name} deviates {worst:.3e} C from dense-exact"
+
+    @pytest.mark.parametrize("build,n_tiles,package", NETWORK_CASES)
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_steady_state_matches_dense_exact(self, name, build,
+                                              n_tiles, package):
+        network = _network(build, n_tiles, package)
+        power = np.linspace(0.1, 0.4, network.n_blocks)
+        reference = ExactIntegrator(network).steady_state(power)
+        candidate = make_solver(name, network).steady_state(power)
+        assert np.allclose(candidate, reference, atol=1e-8)
+
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_invalid_dt_rejected(self, name):
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        solver = make_solver(name, network)
+        with pytest.raises(ValueError):
+            solver.advance(network.initial_temperatures(),
+                           np.zeros(network.n_blocks), 0.0)
+
+
+class TestSparseExactIntegrator:
+    def test_propagator_composes_over_subintervals(self):
+        """Exactness: two half steps equal one full step."""
+        network = _network(build_grid_floorplan, 9, MOBILE_EMBEDDED)
+        solver = SparseExactIntegrator(network)
+        power = np.full(network.n_blocks, 0.2)
+        t0 = network.initial_temperatures()
+        one = solver.advance(t0, power, 0.02)
+        two = solver.advance(solver.advance(t0, power, 0.01), power, 0.01)
+        assert np.allclose(one, two, atol=1e-9)
+
+    def test_artifacts_shared_across_instances(self):
+        clear_artifact_cache()
+        network = _network(build_grid_floorplan, 9, MOBILE_EMBEDDED)
+        a = SparseExactIntegrator(network)
+        b = SparseExactIntegrator(network)
+        assert a._splu is b._splu
+        assert a._scaled_op is b._scaled_op
+        assert shared_artifacts.stats().hits >= 2
+        clear_artifact_cache()
+
+    def test_never_forms_a_dense_matrix(self):
+        """The whole point: no N x N propagator is materialized."""
+        import scipy.sparse as sp
+        network = _network(build_grid_floorplan, 16, MOBILE_EMBEDDED)
+        solver = SparseExactIntegrator(network)
+        solver.advance(network.initial_temperatures(),
+                       np.full(network.n_blocks, 0.2), 0.01)
+        assert sp.issparse(solver._scaled_op)
+        assert solver._coefficients(0.01).ndim == 1
+
+
+class TestReducedOrderIntegrator:
+    def test_default_build_is_effectively_exact(self):
+        """With the paper's packages every mode survives a 10 ms
+        sensor interval, so the default reduction keeps the full basis
+        and the documented bound is zero."""
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        solver = ReducedOrderIntegrator(network)
+        assert solver.error_bound_c == 0.0
+        assert solver.n_modes + solver.n_dropped == network.n_nodes
+
+    def test_forced_truncation_respects_documented_bound(self):
+        network = _network(build_grid_floorplan, 9, MOBILE_EMBEDDED)
+        solver = ReducedOrderIntegrator(network, n_modes=10,
+                                        max_error_c=None)
+        assert solver.n_dropped > 0
+        assert solver.error_bound_c > 0
+        reference = _trajectory(ExactIntegrator(network), network,
+                                steps=100)
+        truncated = _trajectory(solver, network, steps=100)
+        worst = float(np.max(np.abs(truncated - reference)))
+        assert worst <= solver.error_bound_c
+
+    def test_build_time_check_rejects_crude_truncation(self):
+        network = _network(build_grid_floorplan, 9, MOBILE_EMBEDDED)
+        with pytest.raises(ValueError, match="truncation bound"):
+            ReducedOrderIntegrator(network, n_modes=2, max_error_c=1e-6)
+
+    def test_truncated_solver_rejects_steps_below_dt_ref(self):
+        """The truncation bound is certified for dt >= dt_ref only: a
+        shorter step leaves dropped modes with amplitude the bound
+        does not cover, so advancing must fail loudly, not silently
+        return wrong temperatures."""
+        network = _network(build_grid_floorplan, 9, MOBILE_EMBEDDED)
+        solver = ReducedOrderIntegrator(network, n_modes=10,
+                                        max_error_c=None)
+        power = np.full(network.n_blocks, 0.2)
+        t0 = network.initial_temperatures()
+        solver.advance(t0, power, 0.01)            # dt == dt_ref: fine
+        solver.advance(t0, power, 0.05)            # dt > dt_ref: fine
+        with pytest.raises(ValueError, match="dt_ref"):
+            solver.advance(t0, power, 0.001)
+        # An untruncated solver has no such restriction.
+        full = ReducedOrderIntegrator(network)
+        assert full.n_dropped == 0
+        full.advance(t0, power, 0.001)
+
+    def test_invalid_parameters_rejected(self):
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        with pytest.raises(ValueError):
+            ReducedOrderIntegrator(network, dt_ref=0.0)
+        with pytest.raises(ValueError):
+            ReducedOrderIntegrator(network, drop_tol=2.0)
+        with pytest.raises(ValueError):
+            ReducedOrderIntegrator(network, n_modes=0,
+                                   max_error_c=None)
+
+
+class TestNewFloorplanFamilies:
+    """EulerIntegrator cross-validation on lshape and grid-gap."""
+
+    @pytest.mark.parametrize("build,n_tiles", [
+        (build_lshape_floorplan, 5),
+        (build_grid_gap_floorplan, 7),
+    ])
+    def test_euler_cross_validates_exact(self, build, n_tiles):
+        network = _network(build, n_tiles, MOBILE_EMBEDDED)
+        power = np.full(network.n_blocks, 0.2)
+        worst, final_mean = integrator_agreement(network, power,
+                                                 duration=2.0, dt=0.01)
+        assert worst < 0.05
+        assert final_mean > 35.0      # the die actually heated up
+
+    @pytest.mark.parametrize("build,n_tiles", [
+        (build_lshape_floorplan, 5),
+        (build_grid_gap_floorplan, 7),
+    ])
+    def test_sparse_exact_on_new_families(self, build, n_tiles):
+        network = _network(build, n_tiles, MOBILE_EMBEDDED)
+        reference = _trajectory(ExactIntegrator(network), network,
+                                steps=150)
+        sparse = _trajectory(SparseExactIntegrator(network), network,
+                             steps=150)
+        assert float(np.max(np.abs(sparse - reference))) <= 1e-8
+
+
+class TestEndToEndSolverParity:
+    def test_run_reports_match_within_tolerance(self):
+        """A full (short) experiment on a grid platform: sparse-exact
+        reproduces the dense-exact report to numerical precision."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+        base = ExperimentConfig(platform="conf1-grid", n_cores=4,
+                                n_bands=4, warmup_s=1.5, measure_s=1.5)
+        dense = run_experiment(base).report
+        sparse = run_experiment(
+            base.variant(solver="sparse-exact")).report
+        assert sparse.policy == dense.policy
+        assert sparse.deadline_misses == dense.deadline_misses
+        assert sparse.migrations == dense.migrations
+        for field in ("pooled_std_c", "peak_c", "mean_spread_c",
+                      "energy_j"):
+            assert getattr(sparse, field) == pytest.approx(
+                getattr(dense, field), abs=1e-6)
+
+    def test_thermal_subsystem_accepts_solver_name(self):
+        from repro.campaign.builder import SystemBuilder
+        from repro.experiments.config import ExperimentConfig
+        sut = SystemBuilder(ExperimentConfig(
+            solver="sparse-exact", warmup_s=1.0, measure_s=1.0)).build()
+        assert sut.sensors.solver_name == "sparse-exact"
+        assert isinstance(sut.sensors.integrator, SparseExactIntegrator)
