@@ -1,7 +1,14 @@
-"""Campaign subsystem: registries, backends, engine, result store.
+"""Campaign subsystem: registries, backends, engine, store, goldens.
+
+Registry entry points owned by this package:
+:data:`~repro.campaign.spec.campaign_registry`
+(``@register_campaign`` — named campaign factories, ``repro campaign
+--list-campaigns``) and
+:data:`~repro.campaign.backends.backend_registry`
+(``@register_backend`` — execution strategies, ``--backend``).
 
 Turns the one-shot experiment runner into a scalable experiment
-service, split into three layers:
+service, split into separable layers:
 
 * **Scenario registries** (``repro.policies.registry``,
   ``repro.streaming.registry``, ``repro.platform.registry``,
@@ -19,6 +26,10 @@ service, split into three layers:
   table of completed runs (one flat row per run, keyed by config hash
   and campaign name) that doubles as the cross-session cache and the
   export surface (CSV, legacy JSON manifests).
+* **Golden baselines** (:mod:`repro.campaign.golden`) — committed,
+  tolerance-gated snapshots of a campaign's metric rows
+  (``repro baseline record/check/promote``); the regression gate CI
+  runs against every solver/backend combination.
 
 :class:`CampaignRunner` ties the layers together: dedup by config
 hash, serve cached rows from the store, execute the rest through the
@@ -51,6 +62,12 @@ from repro.campaign.backends import (
     register_backend,
 )
 from repro.campaign.builder import SystemBuilder, SystemUnderTest
+from repro.campaign.golden import (
+    GoldenBaseline,
+    GoldenError,
+    RegressionReport,
+    ToleranceSpec,
+)
 from repro.campaign.engine import (
     CampaignResult,
     CampaignRun,
@@ -65,7 +82,13 @@ from repro.campaign.spec import (
     register_campaign,
     sweep,
 )
-from repro.campaign.store import DiffRow, ResultStore, StoreDiff, StoredRun
+from repro.campaign.store import (
+    DiffRow,
+    ResultStore,
+    StoreDiff,
+    StoreError,
+    StoredRun,
+)
 
 __all__ = [
     "CampaignResult",
@@ -73,10 +96,15 @@ __all__ = [
     "CampaignRunner",
     "DiffRow",
     "ExecutionBackend",
+    "GoldenBaseline",
+    "GoldenError",
+    "RegressionReport",
     "ResultStore",
     "SWEEP_POLICIES",
     "StoreDiff",
+    "StoreError",
     "StoredRun",
+    "ToleranceSpec",
     "SystemBuilder",
     "SystemUnderTest",
     "backend_registry",

@@ -1,0 +1,703 @@
+"""Golden-baseline regression gating for campaign metrics.
+
+Every figure of the paper is a metric sweep, and the campaign layers
+make sweeps cached and diffable — this module makes them *enforced*: a
+:class:`GoldenBaseline` is a committed, deterministic JSON snapshot of
+a campaign's per-configuration metric rows plus per-metric
+:class:`ToleranceSpec` gates, and checking a fresh run against it turns
+"the solvers agree" from an ad-hoc parity test into a data-driven CI
+gate (the ``repro baseline`` commands; the ``baseline-gate`` CI job).
+
+Rows are keyed by :meth:`ExperimentConfig.scenario_hash` — the config
+hash with the ``solver`` field normalized out — so **one** golden,
+recorded once with the reference solver, gates every solver/backend
+combination.  The exact solvers (``dense-exact``, ``sparse-exact``,
+``reduced``) are held to round-off-tight defaults; first-order
+integrators get an explicit per-solver tolerance overlay in the same
+file (:data:`APPROX_SOLVERS`), so the committed JSON is the single
+reviewable source of truth for how much any solver may drift.
+
+Worked example — record once, then gate a later change::
+
+    from repro.campaign import CampaignRunner, expand_campaign
+    from repro.campaign.golden import GoldenBaseline
+    from repro.experiments.config import ExperimentConfig
+
+    base = ExperimentConfig(warmup_s=2.0, measure_s=2.0)
+    runner = CampaignRunner(workers=4)
+    result = runner.run(expand_campaign("smoke", base), name="smoke")
+    golden = GoldenBaseline.from_result(result)
+    golden.save("baselines/smoke.json")
+
+    # ... after a numerics change, re-run and gate:
+    golden = GoldenBaseline.load("baselines/smoke.json")
+    fresh = runner.run(golden.configs(solver="sparse-exact"),
+                       name="smoke")
+    report = golden.compare(fresh, solver="sparse-exact")
+    print(report.to_markdown())
+    assert report.ok, report.to_text()
+
+The comparison itself rides on the existing
+:meth:`~repro.campaign.store.ResultStore.diff` machinery: both sides
+are loaded into an in-memory store keyed by scenario hash, and the
+resulting :class:`~repro.campaign.store.StoreDiff` rows are evaluated
+metric-by-metric against the tolerance specs into a
+:class:`RegressionReport` (renderable as terminal text or as the
+Markdown artifact CI uploads).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.campaign.engine import CampaignResult
+from repro.campaign.store import ResultStore, StoreDiff
+from repro.metrics.report import RunReport
+
+#: On-disk golden format version (bumped on incompatible changes).
+FORMAT_VERSION = 1
+
+#: Solvers gated with the widened first-order overlay by default.
+#: Forward Euler at its stability-bounded step tracks the exact
+#: trajectory to a fraction of a degree, which is enough to flip
+#: individual migration decisions — its gate asserts parity, not
+#: identity.  The exact solvers are *not* listed: they stay on the
+#: round-off-tight defaults.
+APPROX_SOLVERS = ("euler",)
+
+#: Default absolute gate (Celsius) for temperature metrics under an
+#: exact-class solver: orders of magnitude above cross-solver round-off
+#: (~1e-12 C) and below any delta that would move a figure.
+EXACT_TEMP_ABS_C = 2e-3
+
+#: Relative gate for rate/energy metrics under an exact-class solver.
+EXACT_RATE_REL = 1e-6
+
+
+class GoldenError(ValueError):
+    """A golden file is missing, malformed, or cannot be recorded."""
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """How far one metric may drift from its golden value.
+
+    ``kind`` is one of:
+
+    * ``exact``  — values must compare equal (strings, counters);
+    * ``abs``    — ``|actual - golden| <= value``;
+    * ``rel``    — ``|actual - golden| <= max(value * |golden|,
+      floor)`` — the ``floor`` keeps a relative gate meaningful when
+      the golden value is (near) zero, where a pure relative bound
+      would reject any change at all;
+    * ``ignore`` — the metric is reported but never gated.
+
+    List-valued metrics (``core_mean_c``) are checked element-wise
+    with the same spec; a length mismatch always violates.
+    """
+
+    kind: str
+    value: float = 0.0
+    floor: float = 0.0
+
+    KINDS = ("exact", "abs", "rel", "ignore")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise GoldenError(f"unknown tolerance kind {self.kind!r}; "
+                              f"expected one of {', '.join(self.KINDS)}")
+        if self.value < 0 or self.floor < 0:
+            raise GoldenError("tolerance value/floor must be >= 0")
+
+    # ------------------------------------------------------------------
+    def allowed(self, golden_value: float) -> float:
+        """The numeric drift this spec permits around ``golden_value``."""
+        if self.kind == "ignore":
+            return float("inf")
+        if self.kind == "exact":
+            return 0.0
+        if self.kind == "abs":
+            return self.value
+        return max(self.value * abs(golden_value), self.floor)
+
+    def check(self, golden, actual) -> bool:
+        """True if ``actual`` is within tolerance of ``golden``."""
+        if self.kind == "ignore":
+            return True
+        if golden is None or actual is None:
+            # A metric named in the tolerances but absent from one
+            # side (e.g. a golden hand-edited onto a stale schema):
+            # pass only when absent from both.
+            return golden is None and actual is None
+        if isinstance(golden, (list, tuple)) or \
+                isinstance(actual, (list, tuple)):
+            if not isinstance(golden, (list, tuple)) or \
+                    not isinstance(actual, (list, tuple)) or \
+                    len(golden) != len(actual):
+                return False
+            return all(self.check(g, a) for g, a in zip(golden, actual))
+        if self.kind == "exact" or isinstance(golden, str) or \
+                isinstance(actual, str) or isinstance(golden, dict):
+            return golden == actual
+        return abs(float(actual) - float(golden)) <= self.allowed(golden)
+
+    def describe(self) -> str:
+        """Compact human-readable form (report tables)."""
+        if self.kind in ("exact", "ignore"):
+            return self.kind
+        if self.kind == "abs":
+            return f"abs<={self.value:g}"
+        text = f"rel<={self.value:g}"
+        if self.floor:
+            text += f" (floor {self.floor:g})"
+        return text
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict:
+        data: Dict = {"kind": self.kind}
+        if self.kind in ("abs", "rel"):
+            data["value"] = float(self.value)
+        if self.floor:
+            data["floor"] = float(self.floor)
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict) -> "ToleranceSpec":
+        try:
+            return cls(kind=data["kind"],
+                       value=float(data.get("value", 0.0)),
+                       floor=float(data.get("floor", 0.0)))
+        except (KeyError, TypeError, AttributeError) as error:
+            raise GoldenError(f"malformed tolerance spec {data!r}: "
+                              f"{error}") from None
+
+
+# ----------------------------------------------------------------------
+# default tolerances, derived from the RunReport record kinds
+# ----------------------------------------------------------------------
+#: Config-echo columns: identical by construction, gated exactly.
+_CONFIG_ECHO_COLUMNS = ("threshold_c", "duration_s")
+
+
+def default_tolerances() -> Dict[str, ToleranceSpec]:
+    """Per-metric gates for exact-class solvers and all backends.
+
+    Derived from the metric kinds of :meth:`RunReport.to_record`:
+    identity strings and event counters are exact, temperature metrics
+    (``*_c``, including the per-core means) get a small absolute gate,
+    and the remaining rate/energy floats a relative one with a
+    near-zero floor.
+    """
+    specs: Dict[str, ToleranceSpec] = {}
+    for name in RunReport.record_columns():
+        if name in RunReport.STR_COLUMNS or name in _CONFIG_ECHO_COLUMNS:
+            specs[name] = ToleranceSpec("exact")
+        elif name in RunReport.INT_COLUMNS:
+            specs[name] = ToleranceSpec("exact")
+        elif name == "extra":
+            specs[name] = ToleranceSpec("exact")
+        elif name.endswith("_c"):       # temperatures, incl. core_mean_c
+            specs[name] = ToleranceSpec("abs", EXACT_TEMP_ABS_C)
+        else:
+            specs[name] = ToleranceSpec("rel", EXACT_RATE_REL,
+                                        floor=1e-9)
+    return specs
+
+
+#: First-order-solver widenings that a kind alone cannot derive: the
+#: migration/QoS families are *decision* metrics — a fraction-of-a-
+#: degree trajectory error can flip individual migrations — so their
+#: overlay asserts "same story", not "same events".  Values carry ~2x
+#: margin over the worst drift measured for ``euler`` across the
+#: committed campaigns.
+_APPROX_OVERRIDES = {
+    "deadline_misses": ToleranceSpec("abs", 8),
+    "source_drops": ToleranceSpec("abs", 6),
+    "frames_played": ToleranceSpec("abs", 8),
+    "migrations": ToleranceSpec("abs", 16),
+    "miss_rate": ToleranceSpec("abs", 0.05),
+    "migrations_per_s": ToleranceSpec("abs", 3.0),
+    "migrated_bytes_per_s": ToleranceSpec("abs", 2.5e5),
+    "mean_freeze_ms": ToleranceSpec("abs", 5.0),
+    "energy_j": ToleranceSpec("rel", 0.02, floor=0.05),
+    "avg_power_w": ToleranceSpec("rel", 0.02, floor=0.01),
+}
+
+#: Absolute gate (Celsius) for temperature metrics under a first-order
+#: solver (euler's stability-bounded step drifts up to ~0.6 C on the
+#: committed campaigns).
+APPROX_TEMP_ABS_C = 1.0
+
+
+def approx_tolerances() -> Dict[str, ToleranceSpec]:
+    """The widened per-metric gates for :data:`APPROX_SOLVERS`."""
+    specs = {}
+    for name, spec in default_tolerances().items():
+        if name in _APPROX_OVERRIDES:
+            specs[name] = _APPROX_OVERRIDES[name]
+        elif spec.kind == "abs":        # temperature family
+            specs[name] = ToleranceSpec("abs", APPROX_TEMP_ABS_C)
+        else:
+            specs[name] = spec
+    return specs
+
+
+# ----------------------------------------------------------------------
+# the golden baseline
+# ----------------------------------------------------------------------
+@dataclass
+class GoldenRow:
+    """One recorded configuration: scenario + its reference metrics."""
+
+    #: Solver-normalized config dict (the ``solver`` key is stripped;
+    #: :meth:`GoldenBaseline.configs` re-applies the solver under
+    #: check).
+    config: Dict
+    #: Decoded flat record: scalars verbatim, lists/dicts as JSON
+    #: values (not re-encoded strings), in stable field order.
+    metrics: Dict
+
+
+@dataclass
+class GoldenBaseline:
+    """A versioned, deterministic snapshot of a campaign's metrics.
+
+    Record with :meth:`from_result` + :meth:`save`; gate with
+    :meth:`configs` + :meth:`compare`.  The JSON form is byte-stable:
+    recording the same campaign twice yields identical files, so a
+    golden diff in review is always a real metric change.
+    """
+
+    campaign: str
+    #: Scenario hash -> recorded row, insertion-ordered by key.
+    rows: Dict[str, GoldenRow]
+    #: Metric -> gate for exact-class solvers (every backend).
+    tolerances: Dict[str, ToleranceSpec] = field(
+        default_factory=default_tolerances)
+    #: Solver name -> per-metric overlay merged over ``tolerances``.
+    solver_overrides: Dict[str, Dict[str, ToleranceSpec]] = field(
+        default_factory=dict)
+    #: The solver the reference metrics were recorded with.
+    solver: str = "dense-exact"
+    format_version: int = FORMAT_VERSION
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: CampaignResult,
+                    campaign: Optional[str] = None) -> "GoldenBaseline":
+        """Snapshot a completed :class:`CampaignResult`.
+
+        The campaign's configs must agree on one solver (that solver
+        becomes the golden's reference), and no two may collapse to
+        the same scenario — a campaign sweeping the ``solver`` axis
+        itself cannot be golden-recorded, because its rows would not
+        name distinct scenarios.
+        """
+        solvers = {run.config.solver for run in result.runs}
+        if len(solvers) > 1:
+            raise GoldenError(
+                f"campaign {result.name!r} mixes solvers "
+                f"({', '.join(sorted(solvers))}); record a golden with "
+                f"one uniform --solver")
+        rows: Dict[str, GoldenRow] = {}
+        for run in result.runs:
+            key = run.config.scenario_hash()
+            if key in rows:
+                raise GoldenError(
+                    f"campaign {result.name!r} has two configs with "
+                    f"scenario hash {key} (identical up to the solver "
+                    f"field); goldens gate scenarios, not solvers")
+            config = run.config.to_dict()
+            del config["solver"]
+            rows[key] = GoldenRow(config=config,
+                                  metrics=run.report.to_dict())
+        overrides = {name: approx_tolerances()
+                     for name in APPROX_SOLVERS}
+        return cls(campaign=campaign or result.name,
+                   rows={key: rows[key] for key in sorted(rows)},
+                   solver=next(iter(solvers), "dense-exact"),
+                   solver_overrides=overrides)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Deterministic JSON: sorted keys, fixed indent, one trailing
+        newline — recording twice is byte-identical."""
+        data = {
+            "format_version": self.format_version,
+            "campaign": self.campaign,
+            "solver": self.solver,
+            "tolerances": {name: spec.to_json_dict()
+                           for name, spec in self.tolerances.items()},
+            "solver_overrides": {
+                solver: {name: spec.to_json_dict()
+                         for name, spec in overlay.items()}
+                for solver, overlay in self.solver_overrides.items()},
+            "rows": {key: {"config": row.config, "metrics": row.metrics}
+                     for key, row in self.rows.items()},
+        }
+        return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "GoldenBaseline":
+        try:
+            data = json.loads(text)
+            version = int(data["format_version"])
+            if version > FORMAT_VERSION:
+                raise GoldenError(
+                    f"golden format v{version} is newer than this "
+                    f"build understands (v{FORMAT_VERSION})")
+            return cls(
+                campaign=str(data["campaign"]),
+                solver=str(data.get("solver", "dense-exact")),
+                format_version=version,
+                tolerances={
+                    name: ToleranceSpec.from_json_dict(spec)
+                    for name, spec in data["tolerances"].items()},
+                solver_overrides={
+                    solver: {name: ToleranceSpec.from_json_dict(spec)
+                             for name, spec in overlay.items()}
+                    for solver, overlay in
+                    data.get("solver_overrides", {}).items()},
+                rows={key: GoldenRow(config=dict(row["config"]),
+                                     metrics=dict(row["metrics"]))
+                      for key, row in sorted(data["rows"].items())})
+        except GoldenError:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            raise GoldenError(f"malformed golden file: {error}") from None
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "GoldenBaseline":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise GoldenError(
+                f"cannot read golden {path}: {error}") from None
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def specs_for(self, solver: Optional[str] = None,
+                  ) -> Dict[str, ToleranceSpec]:
+        """The per-metric gates for a check under ``solver``."""
+        specs = dict(self.tolerances)
+        if solver is not None:
+            specs.update(self.solver_overrides.get(solver, {}))
+        return specs
+
+    def configs(self, solver: Optional[str] = None) -> List:
+        """The recorded configurations, re-armed with ``solver``.
+
+        ``None`` means the golden's own reference solver; the returned
+        configs are what ``repro baseline check`` re-runs (or serves
+        from a warm store) before comparing.
+        """
+        from repro.experiments.config import ExperimentConfig
+        solver = solver or self.solver
+        return [ExperimentConfig.from_dict(
+                    {**row.config, "solver": solver})
+                for row in self.rows.values()]
+
+    def compare(self,
+                actual: Union[CampaignResult, Mapping[str, RunReport]],
+                solver: Optional[str] = None,
+                backend: str = "serial") -> "RegressionReport":
+        """Gate fresh results against this golden.
+
+        ``actual`` is a :class:`CampaignResult` (rows keyed by each
+        run's scenario hash) or a pre-keyed ``{scenario_hash:
+        RunReport}`` mapping.  Both sides are loaded into an in-memory
+        :class:`ResultStore` and matched through its :meth:`diff`;
+        configs present on one side only are reported (and fail the
+        gate) rather than raising.
+        """
+        if isinstance(actual, CampaignResult):
+            actual_map: Dict[str, RunReport] = {}
+            for run in actual.runs:
+                actual_map[run.config.scenario_hash()] = run.report
+        else:
+            actual_map = dict(actual)
+        solver = solver or self.solver
+        store = ResultStore()
+        for key, row in self.rows.items():
+            store.put(key, row.config,
+                      RunReport.from_record(row.metrics),
+                      campaign="golden")
+        for key, report in actual_map.items():
+            config = (self.rows[key].config if key in self.rows
+                      else {})
+            store.put(key, config, report, campaign="actual")
+        diff = store.diff("golden", "actual")
+        store.close()
+        return RegressionReport.from_diff(
+            diff, self.specs_for(solver), campaign=self.campaign,
+            solver=solver, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# the regression report
+# ----------------------------------------------------------------------
+def _elementwise_delta(golden_v, actual_v) -> Optional[float]:
+    """Signed worst per-element drift of two equal-length numeric
+    lists; ``None`` for anything else."""
+    if not isinstance(golden_v, (list, tuple)) or \
+            not isinstance(actual_v, (list, tuple)) or \
+            len(golden_v) != len(actual_v) or not golden_v:
+        return None
+    try:
+        diffs = [float(a) - float(g)
+                 for g, a in zip(golden_v, actual_v)]
+    except (TypeError, ValueError):
+        return None
+    return max(diffs, key=abs)
+
+
+@dataclass
+class Violation:
+    """One metric of one configuration outside its tolerance."""
+
+    key: str                  # scenario hash
+    policy: str
+    threshold_c: float
+    metric: str
+    golden: object
+    actual: object
+    #: ``actual - golden`` for numeric metrics, ``None`` otherwise.
+    delta: Optional[float]
+    spec: ToleranceSpec
+
+    @property
+    def ratio(self) -> float:
+        """|delta| / allowed — how far past the gate (inf for exact)."""
+        if self.delta is None:
+            return float("inf")
+        allowed = self.spec.allowed(
+            self.golden if isinstance(self.golden, (int, float)) else 0.0)
+        if allowed == 0.0:
+            return float("inf")
+        return abs(self.delta) / allowed
+
+
+@dataclass
+class MetricSummary:
+    """Aggregate verdict for one metric across all shared rows."""
+
+    metric: str
+    spec: ToleranceSpec
+    checked: int
+    failed: int
+    worst_abs_delta: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass
+class RegressionReport:
+    """Tolerance-aware verdict of a run against a golden baseline.
+
+    ``ok`` only when every shared row passes every gated metric *and*
+    both sides cover exactly the same scenarios.  Renderable as a
+    terminal summary (:meth:`to_text`) or as the Markdown artifact the
+    ``baseline-gate`` CI job uploads (:meth:`to_markdown`).
+    """
+
+    campaign: str
+    solver: str
+    backend: str
+    n_rows: int                       # scenarios compared on both sides
+    metrics: List[MetricSummary]
+    violations: List[Violation]
+    missing: List[str]                # in the golden, not in the run
+    extra: List[str]                  # in the run, not in the golden
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.missing \
+            and not self.extra
+
+    @property
+    def n_failed_rows(self) -> int:
+        return len({v.key for v in self.violations})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_diff(cls, diff: StoreDiff,
+                  specs: Dict[str, ToleranceSpec], campaign: str,
+                  solver: str, backend: str = "serial",
+                  ) -> "RegressionReport":
+        """Evaluate tolerance verdicts over a golden-vs-actual diff.
+
+        ``diff.campaign_a`` is the golden side.  Every metric named in
+        ``specs`` is checked on every shared row; the numeric deltas
+        the diff already computed are reused, and exact/string/list
+        metrics are compared from the reports directly.
+        """
+        violations: List[Violation] = []
+        summaries: Dict[str, MetricSummary] = {
+            name: MetricSummary(metric=name, spec=spec, checked=0,
+                                failed=0)
+            for name, spec in specs.items()}
+        for row in diff.rows:
+            golden_rec = row.report_a.to_dict()
+            actual_rec = row.report_b.to_dict()
+            for name, spec in specs.items():
+                golden_v = golden_rec.get(name)
+                actual_v = actual_rec.get(name)
+                summary = summaries[name]
+                summary.checked += 1
+                delta = row.deltas.get(name)
+                if delta is None:
+                    # List-valued metrics (core_mean_c) are outside
+                    # the store's numeric columns: report the worst
+                    # element-wise drift instead of nothing.
+                    delta = _elementwise_delta(golden_v, actual_v)
+                if delta is not None:
+                    summary.worst_abs_delta = max(
+                        summary.worst_abs_delta, abs(delta))
+                if spec.check(golden_v, actual_v):
+                    continue
+                summary.failed += 1
+                violations.append(Violation(
+                    key=row.config_hash,
+                    policy=row.report_a.policy,
+                    threshold_c=row.report_a.threshold_c,
+                    metric=name, golden=golden_v, actual=actual_v,
+                    delta=delta, spec=spec))
+        violations.sort(key=lambda v: (-v.ratio, v.metric, v.key))
+        return cls(campaign=campaign, solver=solver, backend=backend,
+                   n_rows=diff.n_shared,
+                   metrics=list(summaries.values()),
+                   violations=violations,
+                   missing=list(diff.only_a), extra=list(diff.only_b))
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _verdict(self) -> str:
+        if self.ok:
+            return "PASS"
+        parts = []
+        if self.violations:
+            parts.append(f"{len(self.violations)} metric violation(s) "
+                         f"in {self.n_failed_rows} config(s)")
+        if self.missing:
+            parts.append(f"{len(self.missing)} config(s) missing from "
+                         f"the run")
+        if self.extra:
+            parts.append(f"{len(self.extra)} config(s) not in the "
+                         f"golden")
+        return "FAIL: " + "; ".join(parts)
+
+    def worst_offenders(self, limit: int = 10) -> List[Violation]:
+        """The violations furthest past their gates (already sorted)."""
+        return self.violations[:limit]
+
+    def to_text(self) -> str:
+        """Compact terminal rendering: verdict + offending rows."""
+        lines = [f"baseline check {self.campaign!r}: "
+                 f"solver={self.solver} backend={self.backend} "
+                 f"{self.n_rows} config(s) -> {self._verdict()}"]
+        for v in self.worst_offenders():
+            delta = ("" if v.delta is None
+                     else f" (delta {v.delta:+.6g})")
+            lines.append(
+                f"  {v.policy:<14} theta={v.threshold_c:<4.1f} "
+                f"{v.metric}: golden {v.golden!r} -> actual "
+                f"{v.actual!r}{delta}, tolerance {v.spec.describe()}")
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        for label, keys in (("missing from run", self.missing),
+                            ("not in golden", self.extra)):
+            for key in keys:
+                lines.append(f"  {key} ({label})")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """The regression-report artifact (per-metric table, worst
+        offenders, coverage) uploaded by the ``baseline-gate`` CI job."""
+        lines = [
+            f"# Regression report: `{self.campaign}`",
+            "",
+            f"- **verdict:** {self._verdict()}",
+            f"- **solver:** `{self.solver}`",
+            f"- **backend:** `{self.backend}`",
+            f"- **configs compared:** {self.n_rows}",
+            "",
+            "## Per-metric gates",
+            "",
+            "| metric | tolerance | checked | failed | worst delta |",
+            "| --- | --- | ---: | ---: | ---: |",
+        ]
+        for summary in self.metrics:
+            mark = "" if summary.ok else " **FAIL**"
+            lines.append(
+                f"| `{summary.metric}`{mark} | {summary.spec.describe()} "
+                f"| {summary.checked} | {summary.failed} "
+                f"| {summary.worst_abs_delta:.6g} |")
+        offenders = self.worst_offenders()
+        if offenders:
+            lines += [
+                "",
+                "## Worst offenders",
+                "",
+                "| config | policy | theta | metric | golden | actual "
+                "| delta | tolerance |",
+                "| --- | --- | ---: | --- | ---: | ---: | ---: "
+                "| --- |",
+            ]
+            for v in offenders:
+                delta = "n/a" if v.delta is None else f"{v.delta:+.6g}"
+                lines.append(
+                    f"| `{v.key}` | {v.policy} | {v.threshold_c:.1f} "
+                    f"| `{v.metric}` | {v.golden!r} | {v.actual!r} "
+                    f"| {delta} | {v.spec.describe()} |")
+        if self.missing or self.extra:
+            lines += ["", "## Coverage", ""]
+            for key in self.missing:
+                lines.append(f"- `{key}` is in the golden but the run "
+                             f"did not produce it")
+            for key in self.extra:
+                lines.append(f"- `{key}` was produced by the run but "
+                             f"is not in the golden")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# file layout
+# ----------------------------------------------------------------------
+#: Default in-repo directory of committed golden files.
+DEFAULT_BASELINE_DIR = "baselines"
+
+
+def golden_path(campaign: str,
+                baseline_dir: Union[str, Path] = DEFAULT_BASELINE_DIR,
+                ) -> Path:
+    """Where the golden for ``campaign`` lives (``<dir>/<name>.json``)."""
+    return Path(baseline_dir) / f"{campaign}.json"
+
+
+def available_goldens(
+        baseline_dir: Union[str, Path] = DEFAULT_BASELINE_DIR,
+        ) -> List[str]:
+    """Campaign names with a committed golden, sorted."""
+    directory = Path(baseline_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(path.stem for path in directory.glob("*.json"))

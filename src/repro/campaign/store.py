@@ -21,6 +21,27 @@ The schema is derived from the flat record, so adding a metric to
 :class:`~repro.metrics.report.RunReport` extends the store
 automatically (existing databases are migrated by ``ALTER TABLE`` on
 open).
+
+Worked example — store two runs, query one back, diff campaigns::
+
+    from repro.campaign.store import ResultStore
+    from repro.metrics.report import RunReport
+
+    store = ResultStore()                 # ":memory:"; pass a path to
+    report = RunReport(policy="migra",    # persist across sessions
+                       package="mobile", threshold_c=2.0,
+                       duration_s=25.0, peak_c=61.5)
+    store.put("hash-a", {"threshold_c": 2.0}, report, campaign="fig7")
+    store.put("hash-a", {"threshold_c": 2.0}, report, campaign="rerun")
+
+    hot = store.runs(campaign="fig7", where="peak_c > 60")
+    assert hot[0].report.peak_c == 61.5
+    diff = store.diff("fig7", "rerun")    # per-metric b - a deltas
+    assert diff.max_abs_delta("peak_c") == 0.0
+
+The tolerance-aware layer on top of :meth:`ResultStore.diff` — golden
+baselines gating a campaign's metrics in CI — lives in
+:mod:`repro.campaign.golden`.
 """
 
 from __future__ import annotations
@@ -45,6 +66,10 @@ def _record_schema() -> List[Tuple[str, str]]:
                           duration_s=0.0).to_record()
     return [(name, _AFFINITY.get(type(value), "TEXT"))
             for name, value in reference.items()]
+
+
+class StoreError(RuntimeError):
+    """The store file exists but is not a readable result store."""
 
 
 @dataclass
@@ -74,7 +99,12 @@ class ResultStore:
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
         self._columns = [name for name, _ in _record_schema()]
-        self._create_schema()
+        try:
+            self._create_schema()
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise StoreError(
+                f"{self.path} is not a result store ({error})") from None
 
     # ------------------------------------------------------------------
     # schema
@@ -162,6 +192,13 @@ class ResultStore:
             "GROUP BY campaign ORDER BY campaign").fetchall()
         return [(row[0], int(row[1])) for row in rows]
 
+    def has_campaign(self, campaign: str) -> bool:
+        """True if at least one run is stored under ``campaign``."""
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE campaign = ? LIMIT 1",
+            (campaign,)).fetchone()
+        return row is not None
+
     def runs(self, campaign: Optional[str] = None,
              where: Optional[str] = None,
              limit: Optional[int] = None) -> List[StoredRun]:
@@ -184,7 +221,15 @@ class ResultStore:
         if limit is not None:
             query += f" LIMIT {int(limit)}"
         out = []
-        for row in self._conn.execute(query, params):
+        try:
+            rows = self._conn.execute(query, params).fetchall()
+        except sqlite3.OperationalError as error:
+            # A typo'd column or malformed SQL in the user's filter:
+            # surface it as a normal bad-argument error, not a
+            # traceback from deep inside sqlite.
+            raise ValueError(
+                f"invalid where filter {where!r}: {error}") from None
+        for row in rows:
             report = RunReport.from_record(
                 {name: row[name] for name in self._columns})
             out.append(StoredRun(config_hash=row["config_hash"],

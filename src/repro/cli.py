@@ -44,6 +44,14 @@ Query and export completed runs from a result store::
     repro results export --cache-dir DIR --csv out.csv
     repro results import --cache-dir DIR LEGACY_MANIFEST_DIR
 
+Gate a campaign's metrics against a committed golden baseline
+(see ``docs/baselines.md``)::
+
+    repro baseline record smoke --warmup 2 --measure 5
+    repro baseline check smoke --solver sparse-exact --cache-dir DIR
+    repro baseline check smoke --report report.md   # exit 1 on drift
+    repro baseline promote smoke --warmup 2 --measure 5
+
 New scenarios (policies, workloads, platforms, packages) register via
 the decorators in ``repro.*.registry`` and are then directly runnable
 by name — see ``repro.campaign`` for an end-to-end example.
@@ -55,11 +63,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.campaign import CampaignRunner, ResultStore, backend_registry, \
     campaign_registry, expand_campaign, sweep
-from repro.campaign.engine import STORE_FILENAME
+from repro.campaign import golden as golden_mod
+from repro.campaign.engine import STORE_FILENAME, shared_runner
+from repro.campaign.store import StoreError
 from repro.experiments import ablation as ablation_mod
 from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
 from repro.experiments.figures import (
@@ -102,6 +113,8 @@ _EXPERIMENTS = (
     "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
     "results: query/export a campaign result store (list, show, diff, "
     "export, import)",
+    "baseline: golden-baseline regression gate (record, check, "
+    "promote)",
     "ablation: design-choice studies (candidate-filter, top-k, strategy, "
     "queue-capacity, sensor-period, stopgo-variant, platform)",
     "scaling: core-count scaling study (extension)",
@@ -274,6 +287,50 @@ def build_parser() -> argparse.ArgumentParser:
             rp.add_argument("--campaign", default="imported",
                             help="campaign name for the imported rows")
 
+    p = sub.add_parser("baseline",
+                       help="golden-baseline regression gate")
+    baseline_sub = p.add_subparsers(dest="baseline_command",
+                                    required=True)
+    for sub_name, sub_help in (
+            ("record", "run a campaign and snapshot its metrics as "
+                       "the golden baseline"),
+            ("check", "re-run (or read from cache) and gate against "
+                      "the golden; exit 1 on violations"),
+            ("promote", "re-record the golden after an intentional "
+                        "metric change")):
+        bp = baseline_sub.add_parser(sub_name, help=sub_help)
+        bp.add_argument("name", metavar="CAMPAIGN",
+                        help="campaign name (see repro campaign "
+                             "--list-campaigns)")
+        bp.add_argument("--baseline-dir", metavar="DIR",
+                        default=golden_mod.DEFAULT_BASELINE_DIR,
+                        help="directory of committed golden files "
+                             "(default baselines/)")
+        _add_workers_option(bp)
+        bp.add_argument("--backend", default="process-pool",
+                        choices=backend_registry.names(),
+                        help="execution backend (default process-pool)")
+        bp.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="serve already-simulated configs from "
+                             "DIR's result store (and persist fresh "
+                             "ones)")
+        if sub_name in ("record", "promote"):
+            _add_phase_options(bp)
+            _add_solver_option(bp)
+            if sub_name == "record":
+                bp.add_argument("--force", action="store_true",
+                                help="overwrite an existing golden "
+                                     "(otherwise use promote)")
+        else:
+            bp.add_argument("--solver", default=None,
+                            choices=solver_registry.names(),
+                            help="check under this solver (default: "
+                                 "the solver the golden was recorded "
+                                 "with)")
+            bp.add_argument("--report", metavar="PATH", default=None,
+                            help="also write the Markdown regression "
+                                 "report to PATH")
+
     p = sub.add_parser("thermal-map",
                        help="ASCII die temperature map (grid model)")
     p.add_argument("--policy", default="energy",
@@ -406,6 +463,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "results":
         return _dispatch_results(args)
+    if args.command == "baseline":
+        return _dispatch_baseline(args)
     if args.command == "thermal-map":
         from repro.experiments.thermal_map import thermal_map
         cfg = ExperimentConfig(policy=args.policy,
@@ -419,14 +478,100 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
+def _dispatch_baseline(args: argparse.Namespace) -> int:
+    """The ``repro baseline`` subcommands (record / check / promote)."""
+    from repro.campaign.golden import GoldenBaseline, GoldenError
+
+    path = golden_mod.golden_path(args.name, args.baseline_dir)
+    runner = shared_runner(cache_dir=args.cache_dir,
+                           backend=args.backend)
+
+    if args.baseline_command in ("record", "promote"):
+        exists = path.is_file()
+        if args.baseline_command == "record" and exists \
+                and not args.force:
+            print(f"error: golden {path} already exists; use "
+                  f"'repro baseline promote {args.name}' to replace "
+                  f"it after an intentional change (or --force)",
+                  file=sys.stderr)
+            return 2
+        if args.baseline_command == "promote" and not exists:
+            print(f"error: no golden at {path}; record the first "
+                  f"snapshot with 'repro baseline record {args.name}'",
+                  file=sys.stderr)
+            return 2
+        try:
+            configs = expand_campaign(args.name, _base_config(args))
+        except ValueError as error:   # typo'd campaign/scenario name
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        result = runner.run(configs, name=args.name,
+                            workers=args.workers)
+        try:
+            golden = GoldenBaseline.from_result(result,
+                                                campaign=args.name)
+        except GoldenError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.baseline_command == "promote":
+            # Summarize what the promotion actually changed: rows of
+            # the new run outside the *old* golden's gates.
+            try:
+                old = GoldenBaseline.load(path)
+                drift = old.compare(result, solver=golden.solver,
+                                    backend=args.backend)
+                changed = drift.n_failed_rows + len(drift.missing) \
+                    + len(drift.extra)
+                print(f"promoting {args.name!r}: {changed} config(s) "
+                      f"beyond the previous golden's tolerances")
+            except GoldenError:
+                print(f"promoting {args.name!r}: previous golden was "
+                      f"unreadable, re-recording from scratch")
+        golden.save(path)
+        print(f"golden for {args.name!r} written to {path} "
+              f"({len(golden.rows)} configs, solver {golden.solver})")
+        return 0
+
+    if args.baseline_command == "check":
+        try:
+            golden = GoldenBaseline.load(path)
+        except GoldenError as error:
+            known = ", ".join(
+                golden_mod.available_goldens(args.baseline_dir)) \
+                or "<none>"
+            print(f"error: {error}\n"
+                  f"recorded goldens in {args.baseline_dir}: {known}",
+                  file=sys.stderr)
+            return 2
+        solver = args.solver or golden.solver
+        result = runner.run(golden.configs(solver=solver),
+                            name=args.name, workers=args.workers)
+        report = golden.compare(result, solver=solver,
+                                backend=args.backend)
+        if args.report:
+            report_path = Path(args.report)
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(report.to_markdown())
+        print(report.to_text())
+        if args.report:
+            print(f"regression report written to {args.report}")
+        return 0 if report.ok else 1
+
+    raise AssertionError(
+        f"unhandled baseline command {args.baseline_command!r}")
+
+
 def _dispatch_results(args: argparse.Namespace) -> int:
     """The ``repro results`` subcommands against one store."""
-    from pathlib import Path
     store_path = Path(args.cache_dir) / STORE_FILENAME
     if args.results_command != "import" and not store_path.is_file():
         print(f"error: no result store at {store_path}", file=sys.stderr)
         return 2
-    store = ResultStore(store_path)
+    try:
+        store = ResultStore(store_path)
+    except StoreError as error:       # corrupt/foreign file at the path
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.results_command == "list":
         campaigns = store.campaigns()
@@ -440,22 +585,33 @@ def _dispatch_results(args: argparse.Namespace) -> int:
         return 0
 
     if args.results_command == "diff":
-        diff = store.diff(args.campaign_a, args.campaign_b,
-                          where=args.where)
-        if not diff.rows and not diff.only_a and not diff.only_b:
-            print(f"no runs stored under {args.campaign_a!r} or "
-                  f"{args.campaign_b!r}")
-            return 0
+        # An empty store (or a typo'd name) used to fall through to a
+        # confusing zero-row diff; name the missing campaign instead.
+        unknown = [name for name in (args.campaign_a, args.campaign_b)
+                   if not store.has_campaign(name)]
+        if unknown:
+            stored = ", ".join(name for name, _ in store.campaigns()) \
+                or "<store is empty>"
+            print(f"error: no such campaign: "
+                  f"{', '.join(repr(n) for n in sorted(set(unknown)))}"
+                  f" (stored campaigns: {stored})", file=sys.stderr)
+            return 2
         try:
+            diff = store.diff(args.campaign_a, args.campaign_b,
+                              where=args.where)
             print(diff.to_text(metrics=args.metrics))
-        except ValueError as error:       # typo'd metric column
+        except ValueError as error:   # typo'd metric column or filter
             print(f"error: {error}", file=sys.stderr)
             return 2
         return 0
 
     if args.results_command == "show":
-        runs = store.runs(campaign=args.campaign, where=args.where,
-                          limit=args.limit)
+        try:
+            runs = store.runs(campaign=args.campaign, where=args.where,
+                              limit=args.limit)
+        except ValueError as error:       # malformed --where filter
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(f"{'campaign':<18}{'hash':<22}{RunReport.HEADER}")
         for run in runs:
             print(f"{run.campaign:<18}{run.config_hash:<22}"
@@ -469,17 +625,25 @@ def _dispatch_results(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         if args.csv is not None:
-            text = store.export_csv(
-                path=None if args.csv == "-" else args.csv,
-                campaign=args.campaign, where=args.where)
+            try:
+                text = store.export_csv(
+                    path=None if args.csv == "-" else args.csv,
+                    campaign=args.campaign, where=args.where)
+            except ValueError as error:   # malformed --where filter
+                print(f"error: {error}", file=sys.stderr)
+                return 2
             if args.csv == "-":
                 sys.stdout.write(text)
             else:
                 print(f"CSV written to {args.csv}")
         if args.manifest_dir is not None:
-            count = store.export_manifests(args.manifest_dir,
-                                           campaign=args.campaign,
-                                           where=args.where)
+            try:
+                count = store.export_manifests(args.manifest_dir,
+                                               campaign=args.campaign,
+                                               where=args.where)
+            except ValueError as error:   # malformed --where filter
+                print(f"error: {error}", file=sys.stderr)
+                return 2
             print(f"{count} manifest(s) written to {args.manifest_dir}")
         return 0
 

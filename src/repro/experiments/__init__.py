@@ -4,6 +4,14 @@ One entry point per table/figure of the paper's evaluation (Sec. 5),
 built on a shared runner that assembles platform + thermal model + MPOS
 + SDR application + policy, executes the warm-up and measurement phases,
 and emits a :class:`~repro.metrics.report.RunReport`.
+
+This package owns no registry of its own — every dispatch field of
+:class:`ExperimentConfig` resolves through the registries of the layer
+that implements it: ``policy`` -> ``repro.policies.registry``,
+``workload`` -> ``repro.streaming.registry``, ``platform`` (and its
+floorplan ``topology``) -> ``repro.platform.registry``, ``package`` ->
+``repro.thermal.registry``, ``solver`` -> ``repro.thermal.solvers``;
+named campaigns live in ``repro.campaign.spec``.
 """
 
 from repro.experiments.config import ExperimentConfig

@@ -160,6 +160,26 @@ class ExperimentConfig:
             object.__setattr__(self, "_config_hash", cached)
         return cached
 
+    def scenario_hash(self) -> str:
+        """Digest of the *scenario*: the config with ``solver`` removed.
+
+        Two configurations that differ only in the thermal solver
+        describe the same experiment computed two ways, so they share a
+        scenario hash while keeping distinct :meth:`config_hash` values
+        (the execution caches must never serve one solver's rows for
+        another).  Golden baselines key their rows on this digest,
+        which is what lets one recorded golden gate every
+        solver/backend combination.
+        """
+        cached = getattr(self, "_scenario_hash", None)
+        if cached is None:
+            data = self.to_dict()
+            del data["solver"]
+            encoded = json.dumps(data, sort_keys=True).encode()
+            cached = hashlib.sha256(encoded).hexdigest()[:20]
+            object.__setattr__(self, "_scenario_hash", cached)
+        return cached
+
     def cache_key(self) -> Tuple:
         """Hashable identity for run-matrix caching."""
         return tuple(getattr(self, f.name) for f in fields(self))

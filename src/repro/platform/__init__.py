@@ -4,6 +4,17 @@ Models the hardware half of the paper's emulation platform (Sec. 4):
 32-bit RISC tiles with private instruction/data caches and private
 memories, one non-cacheable shared memory on a contended bus, per-core
 DVFS domains, and the 90 nm power figures of Table 1.
+
+Registry entry points:
+:data:`~repro.platform.registry.platform_registry`
+(``register_platform`` — named :class:`PlatformConfig` presets behind
+``ExperimentConfig.platform``: ``conf1``, ``conf2``, ``conf1-grid``,
+``conf1-lshape``, ``conf1-gridgap``, …) and
+:data:`~repro.platform.registry.floorplan_registry`
+(``register_floorplan`` — topology families ``row`` / ``grid`` /
+``lshape`` / ``grid-gap``, generators ``f(n_tiles) -> Floorplan``
+named by ``PlatformConfig.topology``).  See
+``docs/scenario-cookbook.md`` §3 and §5.
 """
 
 from repro.platform.bus import BusTransfer, SharedBus

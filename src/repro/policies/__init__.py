@@ -7,6 +7,13 @@ against: :class:`EnergyBalancing` (static mapping + DVFS only) and
 variant and the original panic/timeout variant), a pure
 :class:`LoadBalancing` extension, and an always-on
 :class:`PanicGuard` against thermal runaway.
+
+Registry entry point:
+:data:`~repro.policies.registry.policy_registry`
+(``@register_policy`` on a factory ``f(config) -> ThermalPolicy``) —
+the namespace behind ``ExperimentConfig.policy`` and ``repro run
+--policy``; the built-ins register as ``migra``, ``stopgo``,
+``energy`` and ``load``.  See ``docs/scenario-cookbook.md`` §1.
 """
 
 from repro.policies.base import PolicyDecision, ThermalPolicy

@@ -8,6 +8,10 @@ package to run the *actual* signal processing end to end — synthesizing
 a broadcast FM signal, demodulating it and checking the recovered audio
 — so the repository demonstrates the workload the paper's loads came
 from.
+
+No registry entry point of its own: the *simulated* counterpart of
+this pipeline is what registers (as ``sdr``) in
+:data:`~repro.streaming.registry.workload_registry`.
 """
 
 from repro.sdr.filters import FIRFilter, design_bandpass, design_lowpass

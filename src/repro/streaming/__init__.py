@@ -6,6 +6,13 @@ at the frame rate, a playback sink pops at the frame rate, and every pop
 from an empty final queue is a deadline miss — exactly the QoS metric of
 the paper ("if the queue of the last stage gets empty a deadline miss
 occurs", Sec. 5.2).
+
+Registry entry point:
+:data:`~repro.streaming.registry.workload_registry`
+(``@register_workload`` on a factory ``f(sim, mpos, config, trace) ->
+StreamingApplication``) — the namespace behind
+``ExperimentConfig.workload``; the paper's SDR benchmark registers as
+``sdr``.  See ``docs/scenario-cookbook.md`` §2.
 """
 
 from repro.streaming.frames import Frame, FrameSource, PlaybackSink

@@ -28,6 +28,15 @@ everywhere else; no runner or sensor code changes::
     ExperimentConfig(solver="my-solver")          # config field
     ThermalSubsystem(sim, chip, network, solver="my-solver")
 
+Registry entry points:
+:data:`~repro.thermal.solvers.solver_registry` (``@register_solver``,
+shown above — the namespace behind ``ExperimentConfig.solver`` /
+``--solver``) and :data:`~repro.thermal.registry.package_registry`
+(``register_package`` — :class:`ThermalPackageParams` sets behind
+``ExperimentConfig.package``; the paper's packaging registers as
+``mobile`` and ``highperf``).  See ``docs/scenario-cookbook.md`` §4
+and §6.
+
 One-time per-network artifacts (dense propagators, sparse factors and
 operators, modal bases) are shared process-wide through
 :mod:`repro.thermal.cache` — bounded LRU, size configurable via the

@@ -1,0 +1,353 @@
+"""Tests for the golden-baseline regression gate
+(:mod:`repro.campaign.golden`)."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, expand_campaign
+from repro.campaign.golden import (
+    APPROX_SOLVERS,
+    GoldenBaseline,
+    GoldenError,
+    GoldenRow,
+    RegressionReport,
+    ToleranceSpec,
+    approx_tolerances,
+    available_goldens,
+    default_tolerances,
+    golden_path,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.report import RunReport
+
+
+def _report(**overrides) -> RunReport:
+    fields = dict(policy="migra", package="mobile", threshold_c=3.0,
+                  duration_s=4.0, pooled_std_c=1.25, peak_c=61.5,
+                  deadline_misses=3, migrations=7, migrations_per_s=0.28,
+                  energy_j=23.5, core_mean_c=[51.0, 49.5, 50.2])
+    fields.update(overrides)
+    return RunReport(**fields)
+
+
+class TestToleranceSpec:
+    def test_exact_matches_equality(self):
+        spec = ToleranceSpec("exact")
+        assert spec.check(3, 3)
+        assert spec.check("migra", "migra")
+        assert not spec.check(3, 4)
+        assert not spec.check("migra", "stopgo")
+        assert not spec.check(1.0, 1.0 + 1e-15)
+
+    def test_abs_window(self):
+        spec = ToleranceSpec("abs", 0.5)
+        assert spec.check(10.0, 10.5)
+        assert spec.check(10.0, 9.5)
+        assert not spec.check(10.0, 10.51)
+        assert spec.allowed(10.0) == 0.5
+
+    def test_rel_scales_with_golden_value(self):
+        spec = ToleranceSpec("rel", 0.1)
+        assert spec.check(100.0, 109.0)
+        assert not spec.check(100.0, 111.0)
+        assert spec.check(-100.0, -109.0)      # |golden| scaling
+
+    def test_rel_near_zero_needs_the_floor(self):
+        """A pure relative gate on a zero golden value rejects any
+        change; the floor keeps it meaningful."""
+        bare = ToleranceSpec("rel", 0.1)
+        assert bare.check(0.0, 0.0)
+        assert not bare.check(0.0, 1e-12)      # allowed == 0 exactly
+        floored = ToleranceSpec("rel", 0.1, floor=1e-9)
+        assert floored.check(0.0, 5e-10)
+        assert not floored.check(0.0, 2e-9)
+        assert floored.allowed(0.0) == 1e-9
+        # Away from zero the floor is dominated by the scaled term.
+        assert floored.allowed(100.0) == pytest.approx(10.0)
+
+    def test_ignore_always_passes(self):
+        spec = ToleranceSpec("ignore")
+        assert spec.check(1.0, 999.0)
+        assert spec.check("a", "b")
+        assert spec.allowed(0.0) == float("inf")
+
+    def test_none_values_do_not_crash(self):
+        """A metric named in the tolerances but absent from one side
+        (stale golden schema) is a clean violation, not a TypeError."""
+        for spec in (ToleranceSpec("abs", 0.5),
+                     ToleranceSpec("rel", 0.1), ToleranceSpec("exact")):
+            assert spec.check(None, None)
+            assert not spec.check(1.0, None)
+            assert not spec.check(None, 1.0)
+        assert ToleranceSpec("ignore").check(None, 1.0)
+
+    def test_lists_checked_elementwise(self):
+        spec = ToleranceSpec("abs", 0.1)
+        assert spec.check([1.0, 2.0], [1.05, 2.05])
+        assert not spec.check([1.0, 2.0], [1.05, 2.2])
+        assert not spec.check([1.0, 2.0], [1.0])     # length mismatch
+        assert not spec.check([1.0], 1.0)            # shape mismatch
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(GoldenError, match="unknown tolerance kind"):
+            ToleranceSpec("fuzzy")
+        with pytest.raises(GoldenError, match=">= 0"):
+            ToleranceSpec("abs", -1.0)
+
+    def test_json_round_trip(self):
+        for spec in (ToleranceSpec("exact"), ToleranceSpec("abs", 0.5),
+                     ToleranceSpec("rel", 0.1, floor=1e-9),
+                     ToleranceSpec("ignore")):
+            assert ToleranceSpec.from_json_dict(
+                spec.to_json_dict()) == spec
+        with pytest.raises(GoldenError, match="malformed"):
+            ToleranceSpec.from_json_dict({"value": 1.0})   # no kind
+
+    def test_describe(self):
+        assert ToleranceSpec("exact").describe() == "exact"
+        assert ToleranceSpec("abs", 0.5).describe() == "abs<=0.5"
+        assert "floor" in ToleranceSpec("rel", 0.1,
+                                        floor=1e-9).describe()
+
+
+class TestDefaultTolerances:
+    def test_derived_from_metric_kinds(self):
+        specs = default_tolerances()
+        assert set(specs) == set(RunReport.record_columns())
+        for name in RunReport.STR_COLUMNS + RunReport.INT_COLUMNS:
+            assert specs[name].kind == "exact"
+        assert specs["peak_c"].kind == "abs"          # temperature
+        assert specs["core_mean_c"].kind == "abs"     # per-core temps
+        assert specs["energy_j"].kind == "rel"
+        assert specs["energy_j"].floor > 0            # near-zero safe
+        assert specs["threshold_c"].kind == "exact"   # config echo
+
+    def test_approx_overlay_widens_decision_metrics(self):
+        exact, approx = default_tolerances(), approx_tolerances()
+        assert set(approx) == set(exact)
+        assert approx["migrations"].kind == "abs"     # not exact
+        assert approx["peak_c"].value > exact["peak_c"].value
+        assert approx["policy"].kind == "exact"       # identity stays
+
+
+class TestScenarioHash:
+    def test_solver_independent(self):
+        a = ExperimentConfig()
+        b = ExperimentConfig(solver="sparse-exact")
+        assert a.scenario_hash() == b.scenario_hash()
+        assert a.config_hash() != b.config_hash()
+
+    def test_scenario_fields_still_distinguish(self):
+        a = ExperimentConfig()
+        assert a.scenario_hash() != \
+            a.variant(threshold_c=1.0).scenario_hash()
+        assert a.scenario_hash() != \
+            a.variant(policy="energy").scenario_hash()
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    """One short smoke campaign, shared by the round-trip tests."""
+    base = ExperimentConfig(warmup_s=2.0, measure_s=2.0)
+    return CampaignRunner().run(expand_campaign("smoke", base),
+                                name="smoke")
+
+
+@pytest.fixture(scope="module")
+def smoke_golden(smoke_result):
+    return GoldenBaseline.from_result(smoke_result)
+
+
+class TestGoldenBaseline:
+    def test_rows_keyed_by_scenario_hash(self, smoke_result,
+                                         smoke_golden):
+        keys = {run.config.scenario_hash()
+                for run in smoke_result.runs}
+        assert set(smoke_golden.rows) == keys
+        for row in smoke_golden.rows.values():
+            assert "solver" not in row.config     # normalized out
+
+    def test_record_twice_is_byte_identical(self, smoke_golden):
+        base = ExperimentConfig(warmup_s=2.0, measure_s=2.0)
+        again = GoldenBaseline.from_result(
+            CampaignRunner().run(expand_campaign("smoke", base),
+                                 name="smoke"))
+        assert again.to_json() == smoke_golden.to_json()
+
+    def test_save_load_round_trip(self, smoke_golden, tmp_path):
+        path = smoke_golden.save(tmp_path / "smoke.json")
+        loaded = GoldenBaseline.load(path)
+        assert loaded.to_json() == smoke_golden.to_json()
+        assert loaded.campaign == "smoke"
+        assert loaded.solver == "dense-exact"
+        for name in APPROX_SOLVERS:
+            assert name in loaded.solver_overrides
+
+    def test_mixed_solver_campaign_rejected(self):
+        base = ExperimentConfig(warmup_s=1.0, measure_s=1.0)
+        configs = [base.variant(policy="energy"),
+                   base.variant(policy="energy", solver="euler")]
+        result = CampaignRunner().run(configs, name="mixed")
+        with pytest.raises(GoldenError, match="mixes solvers"):
+            GoldenBaseline.from_result(result)
+
+    def test_solver_axis_campaign_rejected(self):
+        """Two configs identical up to the solver field collapse to
+        one scenario — that is a recording error, not a golden."""
+        base = ExperimentConfig(warmup_s=1.0, measure_s=1.0,
+                                policy="energy")
+        result = CampaignRunner().run([base, base], name="dup")
+        # exact duplicates dedup inside the runner, so fake the clash:
+        result.runs = result.runs * 2
+        with pytest.raises(GoldenError, match="scenario hash"):
+            GoldenBaseline.from_result(result)
+
+    def test_malformed_file_raises_golden_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        for text in ("", "not json", '{"campaign": "x"}'):
+            path.write_text(text)
+            with pytest.raises(GoldenError):
+                GoldenBaseline.load(path)
+        with pytest.raises(GoldenError, match="cannot read"):
+            GoldenBaseline.load(tmp_path / "absent.json")
+
+    def test_newer_format_version_rejected(self, smoke_golden):
+        data = json.loads(smoke_golden.to_json())
+        data["format_version"] = 999
+        with pytest.raises(GoldenError, match="v999"):
+            GoldenBaseline.from_json(json.dumps(data))
+
+    def test_configs_rearm_the_requested_solver(self, smoke_golden):
+        default = smoke_golden.configs()
+        assert all(c.solver == "dense-exact" for c in default)
+        euler = smoke_golden.configs(solver="euler")
+        assert all(c.solver == "euler" for c in euler)
+        assert {c.scenario_hash() for c in euler} == \
+            set(smoke_golden.rows)
+
+    def test_specs_for_merges_solver_overlay(self, smoke_golden):
+        exact = smoke_golden.specs_for("sparse-exact")
+        assert exact["migrations"].kind == "exact"
+        euler = smoke_golden.specs_for("euler")
+        assert euler["migrations"].kind == "abs"
+        assert euler["policy"].kind == "exact"
+
+    def test_paths_and_listing(self, tmp_path, smoke_golden):
+        assert golden_path("smoke", tmp_path).name == "smoke.json"
+        assert available_goldens(tmp_path) == []
+        smoke_golden.save(golden_path("smoke", tmp_path))
+        assert available_goldens(tmp_path) == ["smoke"]
+
+
+def _golden_of(reports: dict) -> GoldenBaseline:
+    """A hand-built golden over pre-keyed reports (no simulation)."""
+    return GoldenBaseline(
+        campaign="unit",
+        rows={key: GoldenRow(config={}, metrics=report.to_dict())
+              for key, report in reports.items()})
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        golden = _golden_of({"k1": _report()})
+        report = golden.compare({"k1": _report()})
+        assert report.ok
+        assert report.n_rows == 1
+        assert report.violations == []
+        assert "PASS" in report.to_text()
+
+    def test_abs_violation_detected_and_ranked(self):
+        golden = _golden_of({"k1": _report()})
+        drifted = _report(peak_c=61.5 + 0.01, pooled_std_c=1.25 + 5.0)
+        report = golden.compare({"k1": drifted})
+        assert not report.ok
+        metrics = [v.metric for v in report.violations]
+        # worst offender (largest exceedance ratio) leads
+        assert metrics[0] == "pooled_std_c"
+        assert "peak_c" in metrics
+        assert report.n_failed_rows == 1
+
+    def test_exact_int_violation(self):
+        golden = _golden_of({"k1": _report()})
+        report = golden.compare({"k1": _report(migrations=8)})
+        assert [v.metric for v in report.violations] == ["migrations"]
+        assert report.violations[0].delta == 1
+
+    def test_core_mean_c_checked_elementwise(self):
+        golden = _golden_of({"k1": _report()})
+        report = golden.compare(
+            {"k1": _report(core_mean_c=[51.0, 49.5, 51.2])})
+        assert [v.metric for v in report.violations] == ["core_mean_c"]
+        # The report carries the worst element-wise drift, so the
+        # Markdown artifact does not under-report list metrics as 0.
+        violation = report.violations[0]
+        assert violation.delta == pytest.approx(1.0)
+        summary = {s.metric: s for s in report.metrics}["core_mean_c"]
+        assert summary.worst_abs_delta == pytest.approx(1.0)
+        assert "+1" in report.to_markdown()
+
+    def test_stale_tolerance_metric_does_not_crash(self):
+        """A golden whose tolerances gate a metric the schema no
+        longer produces compares cleanly (the retired metric is
+        absent from both sides, so nothing can have drifted)."""
+        golden = _golden_of({"k1": _report()})
+        golden.tolerances = dict(golden.tolerances)
+        golden.tolerances["retired_metric"] = ToleranceSpec("abs", 0.1)
+        golden.rows["k1"].metrics["retired_metric"] = 1.25
+        report = golden.compare({"k1": _report()})
+        assert report.ok
+
+    def test_missing_and_extra_configs_fail_the_gate(self):
+        golden = _golden_of({"k1": _report(),
+                             "k2": _report(policy="energy")})
+        report = golden.compare({"k1": _report(), "k3": _report()})
+        assert not report.ok
+        assert report.missing == ["k2"]
+        assert report.extra == ["k3"]
+        assert report.n_rows == 1          # only k1 compared
+        text = report.to_text()
+        assert "missing from run" in text and "not in golden" in text
+
+    def test_solver_overlay_tolerates_euler_drift(self):
+        golden = _golden_of({"k1": _report()})
+        golden.solver_overrides = {"euler": approx_tolerances()}
+        drifted = _report(migrations=9, peak_c=61.5 + 0.4)
+        assert not golden.compare({"k1": drifted}).ok
+        assert golden.compare({"k1": drifted}, solver="euler").ok
+
+    def test_markdown_report_structure(self):
+        golden = _golden_of({"k1": _report()})
+        md = golden.compare({"k1": _report(peak_c=99.0)}).to_markdown()
+        assert md.startswith("# Regression report: `unit`")
+        assert "## Per-metric gates" in md
+        assert "## Worst offenders" in md
+        assert "`peak_c` **FAIL**" in md
+        ok_md = golden.compare({"k1": _report()}).to_markdown()
+        assert "PASS" in ok_md and "Worst offenders" not in ok_md
+
+    def test_campaign_result_keys_by_scenario_hash(self, smoke_golden,
+                                                   smoke_result):
+        report = smoke_golden.compare(smoke_result)
+        assert report.ok
+        assert report.n_rows == len(smoke_golden.rows)
+
+
+class TestRegressionReportFromDiff:
+    def test_rides_on_store_diff(self):
+        """The comparison is the store's diff machinery: build the two
+        campaigns by hand and gate the resulting StoreDiff."""
+        from repro.campaign.store import ResultStore
+        store = ResultStore()
+        store.put("k1", {}, _report(), campaign="golden")
+        store.put("k1", {}, _report(peak_c=61.6), campaign="actual")
+        diff = store.diff("golden", "actual")
+        report = RegressionReport.from_diff(
+            diff, {"peak_c": ToleranceSpec("abs", 0.2)},
+            campaign="unit", solver="dense-exact")
+        assert report.ok
+        report = RegressionReport.from_diff(
+            diff, {"peak_c": ToleranceSpec("abs", 0.05)},
+            campaign="unit", solver="dense-exact")
+        assert not report.ok
+        assert report.violations[0].delta == pytest.approx(0.1)

@@ -273,8 +273,41 @@ class TestResultsCommands:
         self._seed_store(tmp_path)
         capsys.readouterr()
         assert main(["results", "diff", "nope-a", "nope-b",
-                     "--cache-dir", str(tmp_path)]) == 0
-        assert "no runs stored" in capsys.readouterr().out
+                     "--cache-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no such campaign" in err
+        assert "'nope-a'" in err and "smoke" in err
+
+    def test_results_diff_empty_store(self, capsys, tmp_path):
+        """An empty store names the missing campaign cleanly instead
+        of tracing back or printing a zero-row diff."""
+        from repro.campaign.store import ResultStore
+        ResultStore(tmp_path / "results.sqlite").close()
+        assert main(["results", "diff", "smoke", "smoke",
+                     "--cache-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "no such campaign" in err
+        assert "store is empty" in err
+
+    def test_results_commands_reject_corrupt_store(self, capsys,
+                                                   tmp_path):
+        (tmp_path / "results.sqlite").write_text("not a database")
+        for argv in (["results", "list"],
+                     ["results", "diff", "a", "b"]):
+            assert main(argv + ["--cache-dir", str(tmp_path)]) == 2
+            assert "not a result store" in capsys.readouterr().err
+
+    def test_results_bad_where_filter_is_a_clean_error(self, capsys,
+                                                       tmp_path):
+        self._seed_store(tmp_path)
+        capsys.readouterr()
+        for argv in (["results", "show", "--where", "bogus_col > 1"],
+                     ["results", "diff", "smoke", "smoke",
+                      "--where", "bogus_col > 1"],
+                     ["results", "export", "--csv",
+                      "--where", "bogus_col > 1"]):
+            assert main(argv + ["--cache-dir", str(tmp_path)]) == 2
+            assert "invalid where filter" in capsys.readouterr().err
 
     def test_results_export_needs_a_target(self, capsys, tmp_path):
         self._seed_store(tmp_path)
@@ -294,3 +327,89 @@ class TestResultsCommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "campaign" in out and "threshold-sweep" in out
+
+
+class TestBaselineCommands:
+    def _record(self, tmp_path, *extra):
+        return main(["baseline", "record", "smoke",
+                     "--warmup", "2", "--measure", "2",
+                     "--baseline-dir", str(tmp_path / "baselines"),
+                     "--cache-dir", str(tmp_path / "cache"), *extra])
+
+    def _check(self, tmp_path, *extra):
+        return main(["baseline", "check", "smoke",
+                     "--baseline-dir", str(tmp_path / "baselines"),
+                     "--cache-dir", str(tmp_path / "cache"), *extra])
+
+    def test_baseline_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseline"])
+
+    def test_record_then_check_passes_from_warm_cache(self, capsys,
+                                                      tmp_path):
+        """Acceptance: record && check exits 0, served from cache."""
+        assert self._record(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "golden for 'smoke'" in out and "2 configs" in out
+        assert (tmp_path / "baselines" / "smoke.json").is_file()
+        assert self._check(tmp_path) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_detects_perturbation_and_exits_nonzero(
+            self, capsys, tmp_path):
+        """Acceptance: a metric beyond tolerance -> exit 1."""
+        import json
+        assert self._record(tmp_path) == 0
+        path = tmp_path / "baselines" / "smoke.json"
+        data = json.loads(path.read_text())
+        key = sorted(data["rows"])[0]
+        data["rows"][key]["metrics"]["peak_c"] += 1.0
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        report = tmp_path / "report.md"
+        assert self._check(tmp_path, "--report", str(report)) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "peak_c" in out
+        md = report.read_text()
+        assert "# Regression report: `smoke`" in md
+        assert "`peak_c` **FAIL**" in md
+
+    def test_check_under_another_solver(self, capsys, tmp_path):
+        assert self._record(tmp_path) == 0
+        capsys.readouterr()
+        assert self._check(tmp_path, "--solver", "sparse-exact") == 0
+        assert "solver=sparse-exact" in capsys.readouterr().out
+
+    def test_check_without_golden_is_a_clean_error(self, capsys,
+                                                   tmp_path):
+        assert self._check(tmp_path) == 2
+        err = capsys.readouterr().err
+        assert "cannot read golden" in err
+        assert "recorded goldens" in err
+
+    def test_record_refuses_to_overwrite(self, capsys, tmp_path):
+        assert self._record(tmp_path) == 0
+        capsys.readouterr()
+        assert self._record(tmp_path) == 2
+        assert "promote" in capsys.readouterr().err
+        assert self._record(tmp_path, "--force") == 0
+
+    def test_promote_requires_an_existing_golden(self, capsys,
+                                                 tmp_path):
+        argv = ["baseline", "promote", "smoke",
+                "--warmup", "2", "--measure", "2",
+                "--baseline-dir", str(tmp_path / "baselines"),
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 2
+        assert "record the first snapshot" in capsys.readouterr().err
+        assert self._record(tmp_path) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "promoting 'smoke'" in out
+        assert self._check(tmp_path) == 0
+
+    def test_unknown_campaign_rejected(self, capsys, tmp_path):
+        assert main(["baseline", "record", "bogus-campaign",
+                     "--baseline-dir", str(tmp_path)]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
