@@ -22,7 +22,7 @@ a custom sensor arrangement)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.mpos.migration import (
     MigrationStrategy,
@@ -38,7 +38,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import SimRandom
 from repro.sim.trace import TraceRecorder
 from repro.streaming.application import StreamingApplication
-from repro.streaming.registry import make_workload
+from repro.streaming.registry import make_workloads
 from repro.thermal.rc_network import RCNetwork, build_network
 from repro.thermal.sensors import ThermalSubsystem
 
@@ -55,10 +55,17 @@ class SystemUnderTest:
     chip: object
     mpos: MPOS
     sensors: ThermalSubsystem
-    app: StreamingApplication
+    #: The workload's applications, in spec order (one for classic
+    #: single-application workloads).
+    apps: List[StreamingApplication]
     policy: ThermalPolicy
     guard: Optional[PanicGuard]
     trace: TraceRecorder
+
+    @property
+    def app(self) -> StreamingApplication:
+        """The first application (single-app compatibility view)."""
+        return self.apps[0]
 
 
 class SystemBuilder:
@@ -78,7 +85,7 @@ class SystemBuilder:
         network = self.build_network(chip)
         sensors = self.build_sensors(sim, chip, network, trace)
         mpos = self.build_mpos(sim, chip)
-        app = self.build_workload(sim, mpos, trace)
+        apps = self.build_workload(sim, mpos, trace)
 
         policy = self.build_policy()
         policy.attach(mpos)
@@ -91,7 +98,7 @@ class SystemBuilder:
             sensors.add_listener(guard.on_temperature_update)
 
         return SystemUnderTest(config=config, sim=sim, chip=chip, mpos=mpos,
-                               sensors=sensors, app=app, policy=policy,
+                               sensors=sensors, apps=apps, policy=policy,
                                guard=guard, trace=trace)
 
     # ------------------------------------------------------------------
@@ -133,8 +140,9 @@ class SystemBuilder:
                     daemon_period_s=self.config.daemon_period_s)
 
     def build_workload(self, sim: Simulator, mpos: MPOS,
-                       trace: TraceRecorder) -> StreamingApplication:
-        return make_workload(sim, mpos, self.config, trace)
+                       trace: TraceRecorder) -> List[StreamingApplication]:
+        """All applications of the configured workload (spec order)."""
+        return make_workloads(sim, mpos, self.config, trace)
 
     def build_policy(self) -> ThermalPolicy:
         return make_policy(self.config)

@@ -127,6 +127,20 @@ def _topology(base: "ExperimentConfig") -> List["ExperimentConfig"]:
                  n_cores=6, n_bands=6)
 
 
+@register_campaign("workload-mix")
+def _workload_mix(base: "ExperimentConfig") -> List["ExperimentConfig"]:
+    """Policy vs static mapping across the multi-application and
+    phased-load workload families on a six-core platform: two
+    concurrent SDR instances, a fan-out/fan-in synthetic pipeline, the
+    duty-cycled and bursty SDR variants, and the arrival/departure
+    scenario.  This is where thermal balancing diverges from energy
+    balancing — the load is no longer one steady pipeline."""
+    return sweep(base, workload=("multi-sdr:2", "pipeline:3x2",
+                                 "phased", "bursty", "sdr-arrival"),
+                 policy=("energy", "migra"), threshold_c=2.0,
+                 n_cores=6, load_period_s=2.0)
+
+
 @register_campaign("floorplan-scaling")
 def _floorplan_scaling(base: "ExperimentConfig",
                        ) -> List["ExperimentConfig"]:

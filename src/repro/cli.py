@@ -32,7 +32,13 @@ Sweep many configurations through the campaign engine::
     repro sweep --policies migra stopgo --thresholds 1 2 3 4 \\
                 --packages mobile highperf --workers 8
         Ad-hoc cartesian sweep (policies x thresholds x packages x
-        platforms) through the same engine.
+        platforms x workloads) through the same engine.
+        ``--workloads`` accepts registered names (``sdr``, ``fig1``,
+        ``phased``, ``bursty``, ``trace``, ``sdr-arrival``) and
+        parametric family instances (``multi-sdr:<K>``,
+        ``pipeline:<depth>x<width>``); the ``workload-mix`` campaign
+        sweeps the multi-application families against a committed
+        golden.
 
 Query and export completed runs from a result store::
 
@@ -108,7 +114,8 @@ _EXPERIMENTS = (
     "fig10: deadline misses, high-performance package",
     "fig11: migrations/s, both packages",
     "narrative: Sec. 5.2 prose claims",
-    "run: one custom run (see --help)",
+    "run: one custom run (see --help; --workload picks any registered "
+    "workload or family instance like multi-sdr:2)",
     "campaign: run a named campaign through the parallel engine",
     "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
     "results: query/export a campaign result store (list, show, diff, "
@@ -194,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("mobile", "highperf"))
     p.add_argument("--platform", default="conf1",
                    choices=platform_registry.names())
+    p.add_argument("--workload", default="sdr", metavar="NAME",
+                   help="registered workload or parametric family "
+                        "instance (sdr, fig1, phased, bursty, trace, "
+                        "multi-sdr:<K>, pipeline:<depth>x<width>)")
+    p.add_argument("--cores", type=int, default=None, metavar="N",
+                   help="core count (multi-app workloads want more "
+                        "than the default 3)")
     p.add_argument("--strategy", default="replication",
                    choices=("replication", "recreation"))
     _add_solver_option(p)
@@ -229,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PKG")
     p.add_argument("--platforms", nargs="+", default=["conf1"],
                    metavar="PLAT")
+    p.add_argument("--workloads", nargs="+", default=["sdr"],
+                   metavar="NAME",
+                   help="workload axis (registered names or family "
+                        "instances like multi-sdr:2)")
     _add_phase_options(p)
     _add_engine_options(p)
     p.add_argument("--json", action="store_true")
@@ -391,14 +409,27 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         kwargs = dict(policy=args.policy, threshold_c=args.threshold,
                       package=args.package, platform=args.platform,
+                      workload=args.workload,
                       migration_strategy=args.strategy,
                       solver=args.solver)
+        if args.cores is not None:
+            kwargs["n_cores"] = args.cores
         if args.warmup is not None:
             kwargs["warmup_s"] = args.warmup
         if args.measure is not None:
             kwargs["measure_s"] = args.measure
-        config = ExperimentConfig(**kwargs)
-        result = run_experiment(config)
+        try:
+            config = ExperimentConfig(**kwargs)
+            result = run_experiment(config)
+        except ValueError as error:
+            # Typo'd scenario name, or a workload whose mapping needs
+            # more cores than --cores provides: a clean error either
+            # way, not a traceback.  The library speaks in config
+            # fields (n_cores); name the CLI flag alongside.
+            hint = " (the repro run flag is --cores)" \
+                if "n_cores" in str(error) else ""
+            print(f"error: {error}{hint}", file=sys.stderr)
+            return 2
         print(result.report.to_json() if args.json
               else result.report.to_text())
         if args.show_trace:
@@ -434,6 +465,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             configs = sweep(_base_config(args),
                             platform=tuple(args.platforms),
                             package=tuple(args.packages),
+                            workload=tuple(args.workloads),
                             policy=tuple(args.policies),
                             threshold_c=tuple(args.thresholds))
         except ValueError as error:     # typo'd scenario name

@@ -28,6 +28,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.tables import table1, table2
 from repro.experiments.narrative import narrative_sec52
+from repro.experiments import figure1 as _figure1  # registers "fig1"
 
 __all__ = [
     "ExperimentConfig",

@@ -58,13 +58,20 @@ class ExperimentConfig:
     #: ``sparse-exact`` or ``reduced`` for large floorplans.
     solver: str = "dense-exact"
 
-    # Streaming application.
+    # Streaming workload.  ``workload`` names a registered workload or
+    # a parametric family instance (``multi-sdr:<K>``,
+    # ``pipeline:<depth>x<width>``); the remaining fields parameterize
+    # the spec the name resolves to (see ``repro.streaming.spec``).
     workload: str = "sdr"
     frame_period_s: float = 0.04
     queue_capacity: int = 6
     sink_start_delay_frames: int = 4
     n_bands: int = 3
     load_jitter: float = 0.0       # per-frame workload variation (+-frac)
+    #: Phase/burst interval of the ``phased``/``bursty`` load models.
+    load_period_s: float = 5.0
+    #: Full-load fraction of each period under the ``phased`` model.
+    load_duty: float = 0.5
 
     # Phases: policy off during warm-up (the paper's "first execution
     # phase (12.5 sec)"), measured afterwards.
@@ -95,10 +102,10 @@ class ExperimentConfig:
         # and streaming stacks, which must not load just to define a
         # config class.
         from repro.policies.registry import policy_registry
-        from repro.streaming.registry import workload_registry
+        from repro.streaming.registry import resolve_workload
         from repro.thermal.solvers import solver_registry
         policy_registry.resolve(self.policy)
-        workload_registry.resolve(self.workload)
+        resolve_workload(self.workload)
         package_registry.resolve(self.package)
         platform_registry.resolve(self.platform)
         solver_registry.resolve(self.solver)
@@ -109,6 +116,11 @@ class ExperimentConfig:
             raise ValueError("phases must have positive duration")
         if self.n_cores < 1:
             raise ValueError("need at least one core")
+        # Single-source the load-knob validation: these fields feed the
+        # phased model's period/duty, so its own validator is the rule.
+        from repro.streaming.spec import LoadModel
+        LoadModel(kind="phased", period_s=self.load_period_s,
+                  duty=self.load_duty).validate()
 
     # ------------------------------------------------------------------
     @property

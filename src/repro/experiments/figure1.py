@@ -21,9 +21,9 @@ from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.streaming.application import StreamingApplication
 from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
-from repro.streaming.registry import register_workload
+from repro.streaming.registry import register_workload_spec
+from repro.streaming.spec import WorkloadSpec, single_app
 
 F_MAX_HZ = 533e6
 
@@ -43,13 +43,10 @@ def build_fig1_graph() -> StreamGraph:
 FIG1_MAPPING: Dict[str, int] = {"A": 0, "B": 0, "C": 1}
 
 
-@register_workload("fig1")
-def _fig1_workload(sim, mpos, config, trace) -> StreamingApplication:
-    """The Figure 1 synthetic pipeline as a registered workload."""
-    return StreamingApplication.build(
-        sim, mpos, build_fig1_graph(), dict(FIG1_MAPPING),
-        config.frame_period_s, config.queue_capacity,
-        config.sink_start_delay_frames, trace)
+@register_workload_spec("fig1")
+def _fig1_workload(config: ExperimentConfig) -> WorkloadSpec:
+    """The Figure 1 synthetic pipeline as a declarative workload spec."""
+    return single_app("fig1", build_fig1_graph(), dict(FIG1_MAPPING))
 
 
 @dataclass

@@ -72,11 +72,27 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     t_from, t_to = config.warmup_s, config.t_end
     temperature = TemperatureMetrics(sut.trace, config.n_cores, t_from, t_to)
     migration = MigrationMetrics(sut.mpos.engine.records, t_from, t_to)
-    qos = QoSMetrics(sut.app.qos, t_from, t_to)
+    qos = QoSMetrics([app.qos for app in sut.apps], t_from, t_to)
+
+    # Multi-application workloads additionally report per-app QoS:
+    # ``extra["qos.<app>.<metric>"]`` columns ride through the result
+    # store's JSON-encoded ``extra`` column and its exports.  Single-app
+    # runs leave ``extra`` empty, exactly as before the workload IR.
+    extra = {}
+    if len(sut.apps) > 1:
+        for app in sut.apps:
+            per_app = QoSMetrics(app.qos, t_from, t_to)
+            extra[f"qos.{app.name}.deadline_misses"] = \
+                per_app.deadline_misses
+            extra[f"qos.{app.name}.miss_rate"] = per_app.miss_rate
+            extra[f"qos.{app.name}.frames_played"] = \
+                per_app.frames_played
+            extra[f"qos.{app.name}.source_drops"] = per_app.source_drops
 
     report = RunReport(
         policy=sut.policy.name,
         package=config.package_params.name,
+        workload=config.workload,
         threshold_c=config.threshold_c,
         duration_s=config.measure_s,
         pooled_std_c=temperature.pooled_std(),
@@ -95,9 +111,10 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         mean_freeze_ms=1000.0 * migration.mean_freeze_s,
         core_mean_c=[temperature.core_mean_c(i)
                      for i in range(config.n_cores)],
-        frames_played=sut.app.qos.frames_played,
+        frames_played=qos.frames_played,
         energy_j=energy_j,
         avg_power_w=energy_j / config.measure_s,
+        extra=extra,
     )
     return RunResult(report=report, system=sut, temperature=temperature,
                      migration=migration, qos=qos)

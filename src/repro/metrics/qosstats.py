@@ -3,27 +3,43 @@
 The figures count deadline misses only after the policy is enabled
 (the paper's measurements also start after the 12.5 s warm-up), so the
 window filter matters.
+
+A :class:`QoSMetrics` aggregates one tracker (the classic single-app
+case) or several — a multi-application workload reports one aggregate
+plus a per-app :class:`QoSMetrics` for each application.
 """
 
 from __future__ import annotations
+
+from typing import List, Sequence, Union
 
 from repro.streaming.qos import QoSTracker
 
 
 class QoSMetrics:
-    """Windowed deadline-miss view over a :class:`QoSTracker`."""
+    """Windowed deadline-miss view over one or more trackers."""
 
-    def __init__(self, qos: QoSTracker, t_from: float, t_to: float):
+    def __init__(self, qos: Union[QoSTracker, Sequence[QoSTracker]],
+                 t_from: float, t_to: float):
         if t_to <= t_from:
             raise ValueError("measurement window must have positive length")
-        self.qos = qos
+        trackers = [qos] if isinstance(qos, QoSTracker) else list(qos)
+        if not trackers:
+            raise ValueError("need at least one QoS tracker")
+        self.trackers: List[QoSTracker] = trackers
         self.t_from = float(t_from)
         self.t_to = float(t_to)
 
     @property
+    def qos(self) -> QoSTracker:
+        """The first tracker (single-application compatibility)."""
+        return self.trackers[0]
+
+    @property
     def deadline_misses(self) -> int:
-        """Misses inside the window (Figs. 8/10 Y axis)."""
-        return self.qos.misses_in_window(self.t_from, self.t_to)
+        """Misses inside the window (Figs. 8/10 Y axis), all apps."""
+        return sum(t.misses_in_window(self.t_from, self.t_to)
+                   for t in self.trackers)
 
     @property
     def misses_per_second(self) -> float:
@@ -32,14 +48,14 @@ class QoSMetrics:
     @property
     def frames_expected(self) -> int:
         """Playback deadlines that fell inside the window."""
-        # The sink pops once per frame period; misses + plays == pops.
+        # The sinks pop once per frame period; misses + plays == pops.
         return self.deadline_misses + self.frames_played
 
     @property
     def frames_played(self) -> int:
         # Plays are not timestamped individually; derive from totals
         # when the window covers the whole measured phase.
-        return self.qos.frames_played
+        return sum(t.frames_played for t in self.trackers)
 
     @property
     def miss_rate(self) -> float:
@@ -48,4 +64,4 @@ class QoSMetrics:
 
     @property
     def source_drops(self) -> int:
-        return self.qos.source_drops
+        return sum(t.source_drops for t in self.trackers)

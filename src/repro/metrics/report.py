@@ -26,6 +26,11 @@ class RunReport:
     threshold_c: float
     duration_s: float
 
+    #: The workload name the run executed (``ExperimentConfig.workload``,
+    #: e.g. ``"sdr"`` or ``"multi-sdr:2"``) — queryable in the result
+    #: store (``repro results show --where "workload = 'multi-sdr:2'"``).
+    workload: str = "sdr"
+
     # Temperature family (Figs. 7/9).  ``pooled_std_c`` is the headline
     # "temperature standard deviation" (spatial + temporal).
     pooled_std_c: float = 0.0
@@ -72,6 +77,7 @@ class RunReport:
         """Multi-line human-readable report."""
         lines = [
             f"policy={self.policy} package={self.package} "
+            f"workload={self.workload} "
             f"theta={self.threshold_c:.1f}C duration={self.duration_s:.1f}s",
             f"  temperature: pooled std {self.pooled_std_c:.3f} C, "
             f"spatial std {self.spatial_std_c:.3f} C, "
@@ -111,7 +117,7 @@ class RunReport:
     INT_COLUMNS = ("deadline_misses", "source_drops", "migrations",
                    "frames_played")
     #: String-valued identity columns.
-    STR_COLUMNS = ("policy", "package")
+    STR_COLUMNS = ("policy", "package", "workload")
 
     @classmethod
     def record_columns(cls) -> List[str]:

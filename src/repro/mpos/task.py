@@ -105,6 +105,11 @@ class StreamTask:
         # Migration handshake (owned by the migration engine).
         self.migration_target: Optional[int] = None
 
+        # Application departure: a retired task stays mapped (detaching
+        # mid-quantum would corrupt scheduler state) but no longer
+        # demands cycles, so DVFS and the policies plan without it.
+        self.retired = False
+
         # Accounting.
         self.frames_done = 0
         self.total_cycles = 0.0
@@ -115,8 +120,18 @@ class StreamTask:
     # ------------------------------------------------------------------
     @property
     def demand_hz(self) -> float:
-        """Cycle rate this task needs to sustain the frame rate."""
+        """Cycle rate this task needs to sustain the frame rate.
+
+        Zero once the task's application has departed (:meth:`retire`)
+        — a retired task imposes no load on DVFS or policy planning.
+        """
+        if self.retired:
+            return 0.0
         return self.cycles_per_frame / self.frame_period_s
+
+    def retire(self) -> None:
+        """Drop the task's demand to zero (application departure)."""
+        self.retired = True
 
     def fse_load(self, f_max_hz: float) -> float:
         """Full-speed-equivalent load: fraction of a core at ``f_max``."""

@@ -32,18 +32,30 @@ class StreamingApplication:
         Queue objects by edge name (``"lpf->demod"``).
     tasks:
         Task objects by name.
+    name:
+        Application name (distinguishes the apps of a multi-application
+        workload in per-app QoS columns and traces).
+    start_s / stop_s:
+        Arrival and departure times: tasks are mapped and traffic
+        starts at ``start_s`` (0 = at build, the classic behaviour);
+        at ``stop_s`` the sources and sinks stop.
     """
 
     def __init__(self, sim: Simulator, mpos: MPOS, frame_period_s: float,
-                 qos: QoSTracker):
+                 qos: QoSTracker, name: str = "app"):
         self.sim = sim
         self.mpos = mpos
+        self.name = name
         self.frame_period_s = float(frame_period_s)
         self.qos = qos
         self.queues: Dict[str, MsgQueue] = {}
         self.tasks: Dict[str, StreamTask] = {}
         self.sources: List[FrameSource] = []
         self.sinks: List[PlaybackSink] = []
+        self.start_s = 0.0
+        self.stop_s: Optional[float] = None
+        self.started = False
+        self.stopped = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -53,7 +65,10 @@ class StreamingApplication:
               sink_start_delay_frames: int = 4,
               trace: Optional[TraceRecorder] = None,
               load_jitter: Optional[float] = None,
-              jitter_seed: int = 0) -> "StreamingApplication":
+              jitter_seed: int = 0,
+              start_s: float = 0.0,
+              stop_s: Optional[float] = None,
+              name: str = "app") -> "StreamingApplication":
         """Instantiate ``graph`` on ``mpos`` with the given mapping.
 
         Parameters
@@ -71,14 +86,29 @@ class StreamingApplication:
             jitter fraction (data-dependent DSP cost).
         jitter_seed:
             Seed for the per-task jitter streams (deterministic runs).
+        start_s:
+            Application arrival time.  0 (default) maps the tasks and
+            starts the traffic immediately — the classic single-app
+            path, with no extra kernel events; a later time defers
+            mapping and traffic to a scheduled arrival, so the DVFS
+            governor only sees the load once the app exists.
+        stop_s:
+            Application departure time: sources and sinks stop here
+            (``None`` = run forever).
         """
         graph.validate()
         missing = [s.name for s in graph.task_specs if s.name not in mapping]
         if missing:
             raise ValueError(f"mapping misses tasks: {missing}")
+        if start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if stop_s is not None and stop_s <= start_s:
+            raise ValueError("stop_s must exceed start_s")
 
         qos = QoSTracker(trace)
-        app = cls(sim, mpos, frame_period_s, qos)
+        app = cls(sim, mpos, frame_period_s, qos, name=name)
+        app.start_s = float(start_s)
+        app.stop_s = stop_s
 
         for edge in graph.edges:
             capacity = edge.capacity if edge.capacity is not None \
@@ -104,18 +134,26 @@ class StreamingApplication:
                             for e in graph.outputs_of(spec.name)]
             app.tasks[spec.name] = task
 
-        # Map tasks before traffic starts so DVFS settles first.
-        for spec in graph.task_specs:
-            mpos.map_task(app.tasks[spec.name], mapping[spec.name])
+        def _start() -> None:
+            app.started = True
+            # Map tasks before traffic starts so DVFS settles first.
+            for spec in graph.task_specs:
+                mpos.map_task(app.tasks[spec.name], mapping[spec.name])
+            for edge in graph.source_edges():
+                app.sources.append(FrameSource(
+                    sim, app.queues[edge.name], frame_period_s, qos))
+            delay = sink_start_delay_frames * frame_period_s
+            for edge in graph.sink_edges():
+                app.sinks.append(PlaybackSink(
+                    sim, app.queues[edge.name], frame_period_s, qos,
+                    start_delay_s=delay))
 
-        for edge in graph.source_edges():
-            app.sources.append(FrameSource(
-                sim, app.queues[edge.name], frame_period_s, qos))
-        delay = sink_start_delay_frames * frame_period_s
-        for edge in graph.sink_edges():
-            app.sinks.append(PlaybackSink(
-                sim, app.queues[edge.name], frame_period_s, qos,
-                start_delay_s=delay))
+        if start_s == 0.0:
+            _start()            # inline: no extra kernel events
+        else:
+            sim.schedule_at(start_s, _start)
+        if stop_s is not None:
+            sim.schedule_at(stop_s, app.stop)
         return app
 
     # ------------------------------------------------------------------
@@ -126,19 +164,44 @@ class StreamingApplication:
 
     def min_sink_level(self) -> int:
         """Occupancy of the final-stage queue(s) — the deadline buffer."""
+        if not self.sinks:      # app not yet arrived (start_s in future)
+            return 0
         return min(s.queue.level for s in self.sinks)
 
     def task_loads_at_mapped_freq(self) -> Dict[str, float]:
         """Per-task utilization at its core's current frequency — the
-        form Table 2 reports."""
+        form Table 2 reports.  Tasks of a not-yet-arrived app (deferred
+        ``start_s``) report zero load, mirroring
+        :meth:`min_sink_level`'s not-yet-arrived behaviour."""
         out = {}
         for name, task in self.tasks.items():
+            if task.core_index is None:
+                out[name] = 0.0
+                continue
             f = self.mpos.chip.tile(task.core_index).frequency_hz
             out[name] = task.load_at(f)
         return out
 
     def stop(self) -> None:
+        """Application departure.  Idempotent.
+
+        Stops the traffic and retires the tasks: their nominal demand
+        leaves the DVFS and policy picture immediately (the governor
+        re-evaluates the affected cores), while the task objects stay
+        mapped so scheduler state is never corrupted mid-quantum —
+        in-flight frames drain at the new operating points.
+        """
+        if self.stopped:
+            return
+        self.stopped = True
         for s in self.sources:
             s.stop()
         for s in self.sinks:
             s.stop()
+        cores = set()
+        for task in self.tasks.values():
+            task.retire()
+            if task.core_index is not None:
+                cores.add(task.core_index)
+        for core in sorted(cores):
+            self.mpos.governor.update_core(core)

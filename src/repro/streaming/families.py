@@ -1,0 +1,180 @@
+"""Built-in parametric workload families and load-model variants.
+
+Everything here is expressed in the declarative IR of
+:mod:`repro.streaming.spec` — no family touches the runner or the
+application runtime:
+
+* ``pipeline:<depth>x<width>`` — a synthetic fan-out/fan-in pipeline:
+  an ingress task, ``width`` parallel lanes of ``depth`` stages each,
+  and an egress task, mapped round-robin over the cores;
+* ``multi-sdr:<K>`` — K concurrent SDR benchmark instances, task names
+  prefixed ``r<k>.``, each instance's Table 2 placement shifted by
+  3 cores (size the platform with ``n_cores = 3 * K`` for disjoint
+  placements; smaller chips overlap instances and overload);
+* ``phased`` — the SDR benchmark under an on/off duty cycle
+  (``load_duty`` of each ``load_period_s`` at full load);
+* ``bursty`` — the SDR benchmark with deterministic random load bursts
+  every ``load_period_s``;
+* ``trace`` — the SDR benchmark replaying a piecewise load trace
+  spanning the run (a dip, recovery, overload excursion);
+* ``sdr-arrival`` — two SDR instances where the second arrives a
+  quarter into the measurement window and departs at three quarters —
+  the app arrival/departure scenario static policies never see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict
+
+from repro.streaming.graph import SINK, SOURCE, StreamGraph, TaskSpec
+from repro.streaming.registry import register_workload_family, \
+    register_workload_spec
+from repro.streaming.sdr_app import F_MAX_HZ, build_sdr_graph, sdr_mapping
+from repro.streaming.spec import AppSpec, LoadModel, WorkloadSpec, \
+    single_app
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+#: FSE load of one pipeline-family stage task (fraction at f_max).
+PIPELINE_STAGE_LOAD_PCT = 20.0
+#: FSE load of the pipeline family's ingress/egress tasks.
+PIPELINE_IO_LOAD_PCT = 5.0
+
+
+def prefix_graph(graph: StreamGraph, prefix: str) -> StreamGraph:
+    """A copy of ``graph`` with every task name prefixed.
+
+    Task names are global to the MPOS, so the apps of a
+    multi-application workload must not collide; the sentinels
+    (:data:`SOURCE` / :data:`SINK`) are left alone.
+    """
+    out = StreamGraph()
+    for spec in graph.task_specs:
+        out.add_task(replace(spec, name=prefix + spec.name))
+    for edge in graph.edges:
+        src = edge.src if edge.src == SOURCE else prefix + edge.src
+        dst = edge.dst if edge.dst == SINK else prefix + edge.dst
+        out.connect(src, dst, edge.capacity, edge.frame_bytes)
+    return out
+
+
+def build_pipeline_graph(depth: int, width: int) -> StreamGraph:
+    """The ``pipeline:<depth>x<width>`` dataflow graph."""
+    graph = StreamGraph()
+    graph.add_task(TaskSpec("IN", PIPELINE_IO_LOAD_PCT, F_MAX_HZ))
+    graph.add_task(TaskSpec("OUT", PIPELINE_IO_LOAD_PCT, F_MAX_HZ))
+    graph.connect(SOURCE, "IN")
+    for w in range(1, width + 1):
+        prev = "IN"
+        for d in range(1, depth + 1):
+            name = f"S{d}L{w}"
+            graph.add_task(TaskSpec(name, PIPELINE_STAGE_LOAD_PCT,
+                                    F_MAX_HZ))
+            graph.connect(prev, name)
+            prev = name
+        graph.connect(prev, "OUT")
+    graph.connect("OUT", SINK)
+    return graph
+
+
+def round_robin_mapping(graph: StreamGraph, n_cores: int,
+                        ) -> Dict[str, int]:
+    """Tasks onto cores in declaration order, round-robin."""
+    return {spec.name: i % n_cores
+            for i, spec in enumerate(graph.task_specs)}
+
+
+@register_workload_family("pipeline", "pipeline:<depth>x<width>")
+def _pipeline(args: str):
+    try:
+        depth_s, _, width_s = args.partition("x")
+        depth, width = int(depth_s), int(width_s)
+        if depth < 1 or width < 1:
+            raise ValueError
+    except ValueError:
+        raise ValueError(
+            f"bad pipeline workload args {args!r}; expected "
+            f"pipeline:<depth>x<width> with positive integers "
+            f"(e.g. pipeline:3x2)") from None
+
+    def factory(config: "ExperimentConfig") -> WorkloadSpec:
+        graph = build_pipeline_graph(depth, width)
+        return single_app(f"pipeline:{depth}x{width}", graph,
+                          round_robin_mapping(graph, config.n_cores))
+    return factory
+
+
+def _sdr_instance(k: int, config: "ExperimentConfig",
+                  **app_kwargs) -> AppSpec:
+    """One prefixed SDR instance, placed 3 cores after the previous."""
+    prefix = f"r{k}."
+    base = sdr_mapping(config.n_bands, 3)
+    mapping = {prefix + task: (core + 3 * k) % config.n_cores
+               for task, core in base.items()}
+    return AppSpec(name=f"r{k}",
+                   graph=prefix_graph(build_sdr_graph(config.n_bands),
+                                      prefix),
+                   mapping=mapping, **app_kwargs)
+
+
+@register_workload_family("multi-sdr", "multi-sdr:<K>")
+def _multi_sdr(args: str):
+    try:
+        count = int(args)
+        if count < 1:
+            raise ValueError
+    except ValueError:
+        raise ValueError(
+            f"bad multi-sdr workload args {args!r}; expected "
+            f"multi-sdr:<K> with a positive instance count "
+            f"(e.g. multi-sdr:2)") from None
+
+    def factory(config: "ExperimentConfig") -> WorkloadSpec:
+        return WorkloadSpec(
+            name=f"multi-sdr:{count}",
+            apps=tuple(_sdr_instance(k, config) for k in range(count)))
+    return factory
+
+
+@register_workload_spec("phased")
+def _phased(config: "ExperimentConfig") -> WorkloadSpec:
+    """SDR under an on/off duty cycle (``load_period_s``/``load_duty``)."""
+    return single_app(
+        "phased", build_sdr_graph(config.n_bands),
+        sdr_mapping(config.n_bands, config.n_cores),
+        load=LoadModel(kind="phased", period_s=config.load_period_s,
+                       duty=config.load_duty))
+
+
+@register_workload_spec("bursty")
+def _bursty(config: "ExperimentConfig") -> WorkloadSpec:
+    """SDR with deterministic random load bursts each period."""
+    return single_app(
+        "bursty", build_sdr_graph(config.n_bands),
+        sdr_mapping(config.n_bands, config.n_cores),
+        load=LoadModel(kind="bursty", period_s=config.load_period_s))
+
+
+@register_workload_spec("trace")
+def _trace(config: "ExperimentConfig") -> WorkloadSpec:
+    """SDR replaying a piecewise load trace spanning the run."""
+    t = config.t_end
+    points = ((0.2 * t, 0.4), (0.4 * t, 1.0),
+              (0.6 * t, 1.3), (0.8 * t, 0.7))
+    return single_app(
+        "trace", build_sdr_graph(config.n_bands),
+        sdr_mapping(config.n_bands, config.n_cores),
+        load=LoadModel(kind="trace", points=points))
+
+
+@register_workload_spec("sdr-arrival")
+def _sdr_arrival(config: "ExperimentConfig") -> WorkloadSpec:
+    """Two SDR instances; the second arrives and departs mid-window."""
+    arrive = config.warmup_s + 0.25 * config.measure_s
+    depart = config.warmup_s + 0.75 * config.measure_s
+    return WorkloadSpec(
+        name="sdr-arrival",
+        apps=(_sdr_instance(0, config),
+              _sdr_instance(1, config, start_s=arrive, stop_s=depart)))

@@ -1,35 +1,56 @@
-"""Workload registry.
+"""Workload registry: names -> declarative workload specs.
 
-Maps the names accepted by ``ExperimentConfig.workload`` to factories
-``factory(sim, mpos, config, trace) -> StreamingApplication``.  The
-paper's SDR benchmark is pre-registered as ``"sdr"``; new streaming
-workloads plug in without touching the experiment runner::
+Maps the names accepted by ``ExperimentConfig.workload`` to workloads.
+Three kinds of entry coexist:
 
-    from repro.streaming.registry import register_workload
+* **spec factories** (preferred): ``factory(config) -> WorkloadSpec``
+  registered with :func:`register_workload_spec` — the declarative IR
+  of :mod:`repro.streaming.spec`, instantiated by the one generic
+  :func:`~repro.streaming.spec.instantiate_workload`;
+* **legacy factories**: ``factory(sim, mpos, config, trace) -> app``
+  registered with :func:`register_workload` — still honoured, for
+  workloads the IR cannot express (custom harnesses, hand-wired
+  sources);
+* **parametric families**: prefixes like ``multi-sdr`` resolved for
+  any ``multi-sdr:<K>`` name by :func:`register_workload_family`
+  parsers (see :mod:`repro.streaming.families`).
 
-    @register_workload("video")
-    def _video(sim, mpos, config, trace):
-        graph = build_video_graph()
-        return StreamingApplication.build(sim, mpos, graph, mapping,
-                                          config.frame_period_s, ...)
+The paper's SDR benchmark is pre-registered as ``"sdr"`` — as a spec,
+with a parity test guaranteeing it reproduces the original factory
+byte-for-byte::
+
+    from repro.streaming.registry import register_workload_spec
+    from repro.streaming.spec import single_app
+
+    @register_workload_spec("video")
+    def _video(config):
+        return single_app("video", build_video_graph(), mapping,
+                          frame_period_s=0.02)
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.mpos.system import MPOS
 from repro.registry import Registry
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.streaming.application import StreamingApplication
-from repro.streaming.sdr_app import build_sdr_application
+from repro.streaming.sdr_app import build_sdr_graph, sdr_mapping
+from repro.streaming.spec import WorkloadSpec, instantiate_workload, \
+    single_app
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.config import ExperimentConfig
 
-#: Name -> ``factory(sim, mpos, config, trace) -> StreamingApplication``.
+#: Name -> workload entry (spec factory, WorkloadSpec, or legacy
+#: ``factory(sim, mpos, config, trace) -> StreamingApplication``).
 workload_registry = Registry("workload")
+
+#: Family prefix -> ``parser(args) -> factory(config) -> WorkloadSpec``.
+workload_family_registry = Registry("workload family",
+                                    plural="workload families")
 
 WorkloadFactory = Callable[
     [Simulator, MPOS, "ExperimentConfig", Optional[TraceRecorder]],
@@ -37,23 +58,119 @@ WorkloadFactory = Callable[
 
 
 def register_workload(name: str):
-    """Decorator registering a workload factory under ``name``."""
+    """Decorator registering a legacy opaque workload factory.
+
+    The factory is called ``factory(sim, mpos, config, trace)`` and
+    must return a live :class:`StreamingApplication`.  Prefer
+    :func:`register_workload_spec` — specs are inspectable, validated
+    up front, and compose into multi-application workloads.
+    """
     return workload_registry.register(name)
+
+
+def register_workload_spec(name: str):
+    """Decorator registering ``factory(config) -> WorkloadSpec``."""
+    def decorate(factory):
+        factory.__workload_spec__ = True
+        workload_registry.register(name, factory)
+        return factory
+    return decorate
+
+
+def register_workload_family(prefix: str, pattern: str):
+    """Decorator registering a parametric workload family.
+
+    The parser is called with everything after the colon of a
+    ``<prefix>:<args>`` workload name and must return a spec factory
+    ``factory(config) -> WorkloadSpec`` (or raise ``ValueError`` on
+    malformed args).  ``pattern`` is the human-readable name grammar
+    (e.g. ``"multi-sdr:<K>"``) shown by unknown-name errors.
+    """
+    def decorate(parser):
+        parser.pattern = pattern
+        workload_family_registry.register(prefix, parser)
+        return parser
+    return decorate
+
+
+def family_patterns() -> tuple:
+    """The registered families' name grammars, sorted."""
+    return tuple(sorted(
+        getattr(parser, "pattern", f"{prefix}:<...>")
+        for prefix, parser in workload_family_registry.items()))
+
+
+def resolve_workload(name: str):
+    """Look up a workload name, expanding parametric families.
+
+    Exact registrations win; otherwise a ``<prefix>:<args>`` name is
+    handed to the matching family parser.  Unknown names raise a
+    ``ValueError`` listing the registered workloads *and* the family
+    patterns, so a typo'd ``ExperimentConfig.workload`` or CLI
+    ``--workload`` never surfaces as a bare ``KeyError``.
+    """
+    entry = workload_registry.get(name)
+    if entry is not None:
+        return entry
+    prefix, sep, args = name.partition(":")
+    if sep and prefix in workload_family_registry:
+        factory = workload_family_registry[prefix](args)
+        factory.__workload_spec__ = True
+        return factory
+    known = ", ".join(workload_registry.names()) or "<none>"
+    patterns = ", ".join(family_patterns()) or "<none>"
+    raise ValueError(
+        f"unknown workload {name!r}; registered workloads: {known}; "
+        f"parametric families: {patterns}")
+
+
+def _resolve_spec(config: "ExperimentConfig") -> Optional[WorkloadSpec]:
+    """The configured workload as a spec, or ``None`` for a legacy
+    opaque factory."""
+    entry = resolve_workload(config.workload)
+    if isinstance(entry, WorkloadSpec):
+        return entry
+    if getattr(entry, "__workload_spec__", False):
+        return entry(config)
+    return None
+
+
+def make_workloads(sim: Simulator, mpos: MPOS,
+                   config: "ExperimentConfig",
+                   trace: Optional[TraceRecorder],
+                   ) -> List[StreamingApplication]:
+    """Instantiate the workload named in the configuration.
+
+    Returns the workload's applications in spec order (legacy opaque
+    factories yield a one-element list).
+    """
+    spec = _resolve_spec(config)
+    if spec is None:
+        return [resolve_workload(config.workload)(sim, mpos, config,
+                                                  trace)]
+    return instantiate_workload(spec, sim, mpos, config, trace)
 
 
 def make_workload(sim: Simulator, mpos: MPOS, config: "ExperimentConfig",
                   trace: Optional[TraceRecorder]) -> StreamingApplication:
-    """Instantiate the workload named in the configuration."""
-    return workload_registry.resolve(config.workload)(sim, mpos, config, trace)
+    """Single-application compatibility wrapper over
+    :func:`make_workloads` (raises if the workload is multi-app).
+
+    The app count is checked on the *spec*, before anything touches
+    the simulator or the MPOS — rejecting a multi-app workload must
+    not leave queues bound, tasks mapped or arrival events pending.
+    """
+    spec = _resolve_spec(config)
+    if spec is not None and len(spec.apps) != 1:
+        raise ValueError(
+            f"workload {config.workload!r} instantiates "
+            f"{len(spec.apps)} applications; use make_workloads")
+    return make_workloads(sim, mpos, config, trace)[0]
 
 
-@register_workload("sdr")
-def _sdr(sim: Simulator, mpos: MPOS, config: "ExperimentConfig",
-         trace: Optional[TraceRecorder]) -> StreamingApplication:
-    return build_sdr_application(
-        sim, mpos, frame_period_s=config.frame_period_s,
-        queue_capacity=config.queue_capacity,
-        sink_start_delay_frames=config.sink_start_delay_frames,
-        n_bands=config.n_bands, trace=trace,
-        load_jitter=config.load_jitter or None,
-        jitter_seed=config.seed)
+@register_workload_spec("sdr")
+def _sdr(config: "ExperimentConfig") -> WorkloadSpec:
+    """The paper's SDR benchmark (Sec. 5.1) as a declarative spec."""
+    return single_app(
+        "sdr", build_sdr_graph(config.n_bands),
+        sdr_mapping(config.n_bands, config.n_cores))

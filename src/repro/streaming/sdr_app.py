@@ -94,6 +94,15 @@ def default_mapping(n_bands: int, n_cores: int) -> Dict[str, int]:
     return mapping
 
 
+def sdr_mapping(n_bands: int, n_cores: int) -> Dict[str, int]:
+    """The benchmark's static mapping for a given shape: the exact
+    Table 2 placement on the paper's (3 bands, 3 cores) configuration,
+    :func:`default_mapping` otherwise."""
+    if n_bands == 3 and n_cores == 3:
+        return dict(TABLE2_MAPPING)
+    return default_mapping(n_bands, n_cores)
+
+
 def build_sdr_application(sim: Simulator, mpos: MPOS,
                           frame_period_s: float = 0.04,
                           queue_capacity: int = 6,
@@ -107,9 +116,7 @@ def build_sdr_application(sim: Simulator, mpos: MPOS,
     """Instantiate the SDR benchmark (Table 2 mapping by default)."""
     graph = build_sdr_graph(n_bands)
     if mapping is None:
-        mapping = dict(TABLE2_MAPPING) if n_bands == 3 and \
-            mpos.chip.n_tiles == 3 else default_mapping(
-                n_bands, mpos.chip.n_tiles)
+        mapping = sdr_mapping(n_bands, mpos.chip.n_tiles)
     return StreamingApplication.build(
         sim, mpos, graph, mapping, frame_period_s, queue_capacity,
         sink_start_delay_frames, trace, load_jitter=load_jitter,

@@ -280,3 +280,103 @@ class TestPendingEventsCounter:
         sim.run_until(horizon)
         scan = sum(1 for e in sim._queue if not e.cancelled)
         assert sim.pending_events == scan
+
+
+class TestStopFromCallbackDuringRunUntil:
+    """``stop()`` requested by a callback mid-``run_until``: the run
+    returns immediately, later events survive, and the clock still
+    lands exactly on the requested horizon (periodic observers outside
+    the kernel rely on a full interval having elapsed)."""
+
+    def test_stop_abandons_remaining_events_but_sets_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_stopped_flag_resets_for_the_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(3.0)
+        # The event at t=2 was abandoned by the stop but stays queued;
+        # it is in the past of the stopped clock, so only a plain run
+        # (no horizon) may deliver it.
+        sim.run()
+        assert fired == [2]
+        assert sim.pending_events == 0
+
+    def test_stop_at_boundary_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: (fired.append("edge"), sim.stop()))
+        sim.run_until(2.0)
+        assert fired == ["edge"]
+        assert sim.now == 2.0
+
+    def test_stop_from_nested_scheduling_chain(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, second)     # same-instant follow-up
+
+        def second():
+            fired.append("second")
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.5, lambda: fired.append("late"))
+        sim.run_until(4.0)
+        assert fired == ["first", "second"]
+        assert sim.now == 4.0
+
+
+class TestCancelAfterPop:
+    """Cancelling an already-fired event must be inert: the pop cleared
+    the back-reference, so a late ``cancel()`` may not corrupt the
+    live-event counter or affect later scheduling."""
+
+    def test_cancel_fired_event_marks_but_does_not_uncount(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        ev.cancel()
+        assert ev.cancelled is True
+        assert sim.pending_events == 0      # not -1
+
+    def test_cancel_fired_event_then_schedule_more(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        ev.cancel()
+        sim.schedule(1.0, lambda: fired.append(2))
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.pending_events == 0
+
+    def test_event_cancelling_itself_from_its_callback(self):
+        sim = Simulator()
+        holder = {}
+        holder["ev"] = sim.schedule(1.0, lambda: holder["ev"].cancel())
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_executed == 2
+
+    def test_cancel_fired_event_repeatedly(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.step()
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events == 0
