@@ -12,10 +12,12 @@ serial should fail loudly.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import time
+from pathlib import Path
 
-from repro.campaign import CampaignRunner, sweep
+from repro.campaign import CampaignRunner, expand_campaign, sweep
 from repro.experiments.config import ExperimentConfig
 
 from conftest import emit
@@ -114,3 +116,84 @@ def test_batched_backend_matches_pool_and_reports_timing():
     assert pool.to_json() == batched.to_json()
     # Loose floor only: batch scheduling must not collapse throughput.
     assert t_batched < 5 * max(t_pool, 0.1)
+
+
+# ----------------------------------------------------------------------
+# lockstep comparison: serial vs batched vs vectorized
+# ----------------------------------------------------------------------
+
+#: Committed artifact refreshed by the comparison benchmark below.
+_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_vectorized.json"
+
+
+def test_vectorized_backend_speedup_artifact():
+    """Serial vs batched vs vectorized on the threshold-sweep smoke
+    (sparse-exact), written to the committed ``BENCH_vectorized.json``.
+
+    The vectorized backend collapses each sensor epoch's K thermal
+    advances into one ``advance_batch`` mat-mat; its advantage over
+    serial therefore scales with the thermal solver's share of the
+    run — modest on the paper's small conf1 network, larger on big
+    floorplans — and unlike the multiprocessing backends it does not
+    need spare cores.  The artifact records configs/sec per backend
+    plus the solver-artifact cache counters and the machine's core
+    count, so numbers from different machines stay comparable.
+    """
+    from repro.thermal.cache import cache_stats, clear_artifact_cache
+
+    base = ExperimentConfig(warmup_s=2.0, measure_s=5.0,
+                            solver="sparse-exact")
+    configs = expand_campaign("threshold-sweep", base)
+
+    timings = {}
+    manifests = {}
+    for backend in ("serial", "batched", "vectorized"):
+        clear_artifact_cache()
+        t0 = time.perf_counter()
+        result = CampaignRunner(workers=_PARALLEL_WORKERS,
+                                backend=backend).run(
+            configs, name="bench-vectorized")
+        elapsed = time.perf_counter() - t0
+        stats = cache_stats()   # in-process counters; pool workers
+        manifests[backend] = result.to_json()   # keep their own
+        timings[backend] = {
+            "elapsed_s": round(elapsed, 3),
+            "configs_per_s": round(len(configs) / elapsed, 3),
+            "cache_stats": {"hits": stats.hits, "misses": stats.misses,
+                            "evictions": stats.evictions,
+                            "size": stats.size},
+        }
+
+    # The backends are pure throughput knobs: byte-identical manifests.
+    assert manifests["serial"] == manifests["batched"]
+    assert manifests["serial"] == manifests["vectorized"]
+
+    serial_rate = timings["serial"]["configs_per_s"]
+    artifact = {
+        "campaign": "threshold-sweep",
+        "n_configs": len(configs),
+        "solver": "sparse-exact",
+        "warmup_s": 2.0,
+        "measure_s": 5.0,
+        "workers": _PARALLEL_WORKERS,
+        "cpu_count": multiprocessing.cpu_count(),
+        "backends": timings,
+        "speedup_vs_serial": {
+            backend: round(row["configs_per_s"] / serial_rate, 3)
+            for backend, row in timings.items()},
+    }
+    _ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True)
+                         + "\n")
+
+    lines = [f"vectorized backend comparison: {len(configs)} configs, "
+             f"sparse-exact, cpu_count={artifact['cpu_count']}"]
+    for backend, row in timings.items():
+        lines.append(f"  {backend:<12} {row['elapsed_s']:>7.2f}s "
+                     f"{row['configs_per_s']:>7.2f} configs/s "
+                     f"({artifact['speedup_vs_serial'][backend]:.2f}x)")
+    lines.append(f"artifact written to {_ARTIFACT.name}")
+    emit("\n".join(lines))
+
+    # Loose floor: lockstep batching must never lose to serial by more
+    # than measurement noise (its real win grows with network size).
+    assert artifact["speedup_vs_serial"]["vectorized"] > 0.9

@@ -21,6 +21,13 @@ Built-in backends, resolved by name through :data:`backend_registry`:
   built once per group instead of once per (worker, network)
   encounter.  Best for topology-diverse sweeps with many runs per
   platform.
+* ``vectorized`` — groups like ``batched`` (plus sensor period and
+  phase timing) and runs each group's simulators *in lockstep*: at
+  every common sensor epoch the K per-config thermal advances collapse
+  into one :meth:`~repro.thermal.solvers.ThermalSolver.advance_batch`
+  mat-mat (see :mod:`repro.campaign.lockstep`).  Best for sweeps with
+  many configs per network — threshold sweeps, seed sweeps — on
+  machines with few cores.
 
 New backends plug in without touching the runner::
 
@@ -179,6 +186,65 @@ class BatchedBackend(ExecutionBackend):
                 [[configs[i].to_dict() for i in batch]
                  for batch in batches])
         reports: List[RunReport] = [None] * len(configs)  # type: ignore
+        for batch, dicts in zip(batches, results):
+            for i, d in zip(batch, dicts):
+                reports[i] = RunReport(**d)
+        return reports
+
+
+def lockstep_group_key(config: "ExperimentConfig") -> Tuple:
+    """Grouping key for the ``vectorized`` backend.
+
+    Extends :func:`network_group_key` with the fields that must match
+    for simulators to hit sensor ticks at the same instants: the sensor
+    period and the two phase durations.
+    """
+    return network_group_key(config) + (
+        config.sensor_period_s, config.warmup_s, config.measure_s)
+
+
+def _execute_lockstep_group(config_dicts: List[Dict]) -> List[Dict]:
+    """Worker entry point: one lockstep group, reports in group order."""
+    from repro.campaign.lockstep import run_lockstep_group
+    from repro.experiments import ablation, figure1  # noqa: F401
+    from repro.experiments.config import ExperimentConfig
+    configs = [ExperimentConfig.from_dict(d) for d in config_dicts]
+    return [report.to_dict() for report in run_lockstep_group(configs)]
+
+
+@register_backend("vectorized")
+class VectorizedBackend(ExecutionBackend):
+    """Lockstep groups: one mat-mat thermal advance per sensor epoch.
+
+    Unlike ``batched``, a single worker still benefits: the speedup
+    comes from collapsing K solver calls into one batched call
+    in-process, not from parallelism.  With multiple workers and
+    multiple groups, the groups fan out over a pool — never more
+    processes than groups, so no worker sits idle.
+    """
+
+    name = "vectorized"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        from repro.campaign.lockstep import run_lockstep_group
+        groups: Dict[Tuple, List[int]] = {}
+        for i, config in enumerate(configs):
+            groups.setdefault(lockstep_group_key(config), []).append(i)
+        batches = sorted(groups.values(), key=len, reverse=True)
+        reports: List[RunReport] = [None] * len(configs)  # type: ignore
+        if workers <= 1 or len(batches) == 1:
+            for batch in batches:
+                group_reports = run_lockstep_group(
+                    [configs[i] for i in batch])
+                for i, report in zip(batch, group_reports):
+                    reports[i] = report
+            return reports
+        with self._pool_context().Pool(min(workers, len(batches))) as pool:
+            results = pool.map(
+                _execute_lockstep_group,
+                [[configs[i].to_dict() for i in batch]
+                 for batch in batches])
         for batch, dicts in zip(batches, results):
             for i, d in zip(batch, dicts):
                 reports[i] = RunReport(**d)

@@ -1,0 +1,102 @@
+"""cProfile instrumentation for campaign runs.
+
+``repro campaign <name> --profile [PATH]`` wraps the engine call in a
+:mod:`cProfile` session and reports where the wall-clock went: a
+top-N-by-cumulative-time table on stdout plus a machine-readable JSON
+artifact (for committing next to benchmark results, or diffing across
+optimization PRs).
+
+The profile is in-process only — a multiprocessing backend's worker
+time shows up as opaque ``pool.map`` waiting, so profile with
+``--backend serial`` or ``--backend vectorized --workers 1`` to see the
+simulation internals.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Rows shown / exported by default.
+DEFAULT_TOP_N = 25
+
+
+@dataclass
+class ProfileRow:
+    """One function's aggregate cost within a profile."""
+
+    function: str       # "path/to/file.py:123(name)" or "~:0(<builtin>)"
+    ncalls: int         # primitive + recursive calls
+    tottime_s: float    # time inside the function itself
+    cumtime_s: float    # time including callees
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"function": self.function, "ncalls": self.ncalls,
+                "tottime_s": round(self.tottime_s, 6),
+                "cumtime_s": round(self.cumtime_s, 6)}
+
+
+@dataclass
+class ProfileReport:
+    """Digest of one cProfile session, ordered by cumulative time."""
+
+    total_time_s: float
+    total_calls: int
+    rows: List[ProfileRow] = field(default_factory=list)
+
+    def to_text(self, top_n: int = DEFAULT_TOP_N) -> str:
+        lines = [f"profile: {self.total_calls} calls in "
+                 f"{self.total_time_s:.3f}s (top {top_n} by cumulative "
+                 f"time)",
+                 f"{'cumtime':>9} {'tottime':>9} {'ncalls':>9}  function"]
+        for row in self.rows[:top_n]:
+            lines.append(f"{row.cumtime_s:>9.3f} {row.tottime_s:>9.3f} "
+                         f"{row.ncalls:>9d}  {row.function}")
+        return "\n".join(lines)
+
+    def to_dict(self, top_n: int = DEFAULT_TOP_N) -> Dict[str, Any]:
+        return {"total_time_s": round(self.total_time_s, 6),
+                "total_calls": self.total_calls,
+                "rows": [row.to_dict() for row in self.rows[:top_n]]}
+
+    def write_json(self, path: str, top_n: int = DEFAULT_TOP_N) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(top_n), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _format_func(func: Tuple[str, int, str]) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        return name                      # builtins: "<built-in ...>"
+    return f"{filename}:{lineno}({name})"
+
+
+def profile_call(fn: Callable[[], Any],
+                 top_n: int = DEFAULT_TOP_N) -> Tuple[Any, ProfileReport]:
+    """Run ``fn()`` under cProfile; return ``(result, report)``.
+
+    The report keeps the ``top_n`` hottest rows by cumulative time and
+    drops the profiler's own bookkeeping frames.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list or []:
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        rows.append(ProfileRow(function=_format_func(func), ncalls=nc,
+                               tottime_s=tottime, cumtime_s=cumtime))
+        if len(rows) >= top_n:
+            break
+    report = ProfileReport(total_time_s=stats.total_tt,
+                           total_calls=stats.total_calls, rows=rows)
+    return result, report

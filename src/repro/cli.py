@@ -231,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(p)
     p.add_argument("--json", action="store_true",
                    help="emit the aggregated manifest as JSON")
+    p.add_argument("--profile", nargs="?", metavar="PATH", default=None,
+                   const="campaign_profile.json",
+                   help="profile the run under cProfile: print the "
+                        "hottest functions by cumulative time and write "
+                        "a JSON artifact (default campaign_profile.json; "
+                        "in-process backends only show internals)")
 
     p = sub.add_parser("sweep",
                        help="ad-hoc cartesian sweep through the "
@@ -457,6 +463,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         runner = CampaignRunner(workers=args.workers,
                                 cache_dir=args.cache_dir,
                                 backend=args.backend)
+        if args.profile:
+            from repro.campaign.profiling import profile_call
+            result, profile = profile_call(
+                lambda: runner.run(configs, name=args.name))
+            profile.write_json(args.profile)
+            print(result.to_json() if args.json else result.to_text())
+            print()
+            print(profile.to_text())
+            print(f"profile written to {args.profile}")
+            return 0
         result = runner.run(configs, name=args.name)
         print(result.to_json() if args.json else result.to_text())
         return 0

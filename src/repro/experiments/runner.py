@@ -27,8 +27,8 @@ from repro.metrics.report import RunReport
 from repro.metrics.temperature import TemperatureMetrics
 from repro.policies.registry import make_policy
 
-__all__ = ["RunResult", "SystemUnderTest", "build_system", "make_policy",
-           "run_experiment"]
+__all__ = ["RunResult", "SystemUnderTest", "build_system", "finalize_run",
+           "make_policy", "run_experiment"]
 
 
 @dataclass
@@ -68,7 +68,18 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     energy_start = sut.chip.cumulative_energy_j().sum()
     sim.run_until(config.t_end)
     energy_j = float(sut.chip.cumulative_energy_j().sum() - energy_start)
+    return finalize_run(sut, energy_j)
 
+
+def finalize_run(sut: SystemUnderTest, energy_j: float) -> RunResult:
+    """Compute the metrics and report for a system that has been run.
+
+    Shared between :func:`run_experiment` and the lockstep campaign
+    driver (:mod:`repro.campaign.lockstep`), which executes the two
+    phases itself across many simulators.  ``energy_j`` is the chip
+    energy consumed over the measurement window.
+    """
+    config = sut.config
     t_from, t_to = config.warmup_s, config.t_end
     temperature = TemperatureMetrics(sut.trace, config.n_cores, t_from, t_to)
     migration = MigrationMetrics(sut.mpos.engine.records, t_from, t_to)

@@ -98,6 +98,10 @@ class Chip:
         self._cumulative_j = np.zeros(n, dtype=float)
         self._last_settle = self.clock()
         self._drain_from = self.clock()
+        self._tile_block_idx = [
+            np.array([self._block_index[b.name] for b in tile.blocks])
+            for tile in self.tiles]
+        self._tile_power_cache: List[Dict] = [{} for _ in self.tiles]
         self._recompute_all_powers()
 
     # ------------------------------------------------------------------
@@ -155,6 +159,8 @@ class Chip:
                 f"expected {self.n_blocks} temperatures, got {len(temps_c)}")
         self.settle()
         self.temps_c = np.asarray(temps_c, dtype=float).copy()
+        for cache in self._tile_power_cache:
+            cache.clear()           # leakage depends on temperature
         self._recompute_all_powers()
 
     # ------------------------------------------------------------------
@@ -241,9 +247,20 @@ class Chip:
             self._block_activity(block, tile), temp, gated=tile.gated)
 
     def _recompute_tile_powers(self, tile: Tile) -> None:
-        for block in tile.blocks:
-            idx = self._block_index[block.name]
-            self._power_w[idx] = self._block_power(block, tile)
+        # Between temperature updates a tile's block powers depend only
+        # on (opp, active, gated), and the scheduler toggles ``active``
+        # thousands of times per 10 ms sensor period — memoizing the
+        # power vector per state turns the dominant profile entry into
+        # a dict hit.  The cached floats are the exact values a fresh
+        # computation would produce, so results stay bit-identical.
+        cache = self._tile_power_cache[tile.index]
+        key = (tile.opp, tile.active, tile.gated)
+        powers = cache.get(key)
+        if powers is None:
+            powers = np.array([self._block_power(block, tile)
+                               for block in tile.blocks])
+            cache[key] = powers
+        self._power_w[self._tile_block_idx[tile.index]] = powers
 
     def _recompute_shared_powers(self) -> None:
         for block in self.shared_blocks:

@@ -144,6 +144,17 @@ class Simulator:
             return None
         return self._queue[0].time
 
+    def peek_event(self) -> Optional[Event]:
+        """The next live event itself, or ``None`` if the queue is empty.
+
+        Lets external drivers (the lockstep campaign backend) execute
+        events one at a time *up to* a known event — e.g. a thermal
+        sensor tick — without firing it, so work common to many
+        simulators can be batched at that point.
+        """
+        self._drop_cancelled()
+        return self._queue[0] if self._queue else None
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False when none remain."""
         self._drop_cancelled()

@@ -65,6 +65,16 @@ class PeriodicProcess:
     def running(self) -> bool:
         return not self._stopped
 
+    @property
+    def next_event(self) -> Optional[Event]:
+        """The queued :class:`Event` for the next tick (``None`` if stopped).
+
+        External drivers compare this against
+        :meth:`Simulator.peek_event` to execute a simulator exactly up
+        to — but not through — the next tick.
+        """
+        return self._event
+
 
 class Timer:
     """A restartable one-shot timer.

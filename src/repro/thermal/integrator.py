@@ -87,6 +87,17 @@ class ExactIntegrator:
         t_ss = self.steady_state(block_power)
         return t_ss + self._propagator(dt) @ (temps - t_ss)
 
+    def advance_batch(self, temps: np.ndarray, block_power: np.ndarray,
+                      dt: float) -> np.ndarray:
+        """Batched advance over ``(N, K)`` stacked states.
+
+        Column-by-column: a dense gemm over the stacked columns is not
+        bitwise column-stable across batch widths, and this solver's
+        contract is byte-for-byte equality with the paper's integrator.
+        """
+        from repro.thermal.solvers import batched_by_columns
+        return batched_by_columns(self, temps, block_power, dt)
+
 
 class EulerIntegrator:
     """Forward Euler with stability-bounded sub-steps."""
@@ -114,6 +125,12 @@ class EulerIntegrator:
         for _ in range(n_sub):
             t += h * self.network.derivative(t, block_power)
         return t
+
+    def advance_batch(self, temps: np.ndarray, block_power: np.ndarray,
+                      dt: float) -> np.ndarray:
+        """Batched advance over ``(N, K)`` stacked states (column loop)."""
+        from repro.thermal.solvers import batched_by_columns
+        return batched_by_columns(self, temps, block_power, dt)
 
 
 def integrator_agreement(network: RCNetwork, block_power: np.ndarray,

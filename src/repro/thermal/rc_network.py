@@ -91,6 +91,23 @@ class RCNetwork:
         return (self.full_power_vector(block_power)
                 + self.ambient_vector * self.ambient_c)
 
+    def forcing_matrix(self, block_power: np.ndarray) -> np.ndarray:
+        """Column-stacked forcing terms for ``(n_blocks, K)`` powers.
+
+        Column ``k`` is bitwise identical to
+        ``forcing_vector(block_power[:, k])`` — the batched thermal
+        step (:meth:`~repro.thermal.solvers.ThermalSolver.advance_batch`)
+        relies on that to stay byte-compatible with per-config stepping.
+        """
+        block_power = np.asarray(block_power, dtype=float)
+        if block_power.ndim != 2 or block_power.shape[0] != self.n_blocks:
+            raise ValueError(
+                f"expected ({self.n_blocks}, K) block powers, got "
+                f"{block_power.shape}")
+        full = np.concatenate(
+            [block_power, np.zeros((1, block_power.shape[1]))])
+        return full + (self.ambient_vector * self.ambient_c)[:, None]
+
     def steady_state(self, block_power: np.ndarray) -> np.ndarray:
         """Equilibrium temperatures for constant power: ``K T = P + b``."""
         return np.linalg.solve(self.conductance,

@@ -76,6 +76,11 @@ class ThermalSubsystem:
         self._core_indices = chip.core_block_indices()
         self._process = PeriodicProcess(sim, self.period_s, self._tick)
         self.updates = 0
+        self._injected: Optional[np.ndarray] = None
+        # Trace keys are invariant; building the f-strings on every tick
+        # showed up in campaign profiles.
+        self._trace_keys = [f"temp.core{i}"
+                            for i in range(len(self._core_indices))]
 
     # ------------------------------------------------------------------
     # public API
@@ -123,12 +128,45 @@ class ThermalSubsystem:
         self._process.stop()
 
     # ------------------------------------------------------------------
+    # lockstep driving (the ``vectorized`` campaign backend)
+    # ------------------------------------------------------------------
+    def next_tick_event(self):
+        """The queued kernel event for the next sensor tick (or ``None``).
+
+        A lockstep driver steps the simulator until this event is at the
+        queue head, drains the interval power itself, batches the thermal
+        advance across many simulators, then hands the result back via
+        :meth:`inject_advance` before firing the tick.
+        """
+        return self._process.next_event
+
+    def inject_advance(self, temps: np.ndarray) -> None:
+        """Provide externally computed temperatures for the next tick.
+
+        The caller has already drained :meth:`Chip.drain_average_power`
+        at the tick's timestamp and advanced the integrator (typically
+        through ``advance_batch`` over many configs); the next
+        :meth:`_tick` consumes ``temps`` instead of advancing itself.
+        Everything downstream of the advance — leakage feedback, traces,
+        listener notification — runs unchanged, so injected and normal
+        ticks are byte-identical when ``temps`` is.
+        """
+        if self._injected is not None:
+            raise RuntimeError("an injected advance is already pending")
+        self._injected = temps
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _tick(self, _process: PeriodicProcess) -> None:
-        avg_power = self.chip.drain_average_power()
-        self.temps = self.integrator.advance(self.temps, avg_power,
-                                             self.period_s)
+        injected = self._injected
+        if injected is not None:
+            self._injected = None
+            self.temps = injected
+        else:
+            avg_power = self.chip.drain_average_power()
+            self.temps = self.integrator.advance(self.temps, avg_power,
+                                                 self.period_s)
         self.chip.update_temperatures(self.temps[:-1])
         self.updates += 1
         now = self.sim.now
@@ -137,9 +175,10 @@ class ThermalSubsystem:
         # noisy sensor readings.
         true_temps = self.temps[self._core_indices]
         if self.trace is not None:
-            for i, t in enumerate(true_temps):
-                self.trace.record(f"temp.core{i}", now, float(t))
-            self.trace.record("temp.package", now, self.package_temperature())
+            record = self.trace.record
+            for key, t in zip(self._trace_keys, true_temps):
+                record(key, now, float(t))
+            record("temp.package", now, self.package_temperature())
         core_temps = self.core_temperatures()
         for listener in self._listeners:
             listener(now, core_temps)

@@ -7,6 +7,9 @@ an object that can advance the thermal state over a sensor interval::
         name: str
         def advance(temps, block_power, dt) -> np.ndarray: ...
         def steady_state(block_power) -> np.ndarray: ...
+        # batched: (n_nodes, K) states -> (n_nodes, K), column k
+        # bitwise identical to advance(temps[:, k], power[:, k], dt)
+        def advance_batch(temps_2d, block_power_2d, dt) -> np.ndarray: ...
 
 Solvers are resolved by name through :data:`solver_registry` — the
 ``solver`` field of :class:`~repro.experiments.config.ExperimentConfig`
@@ -75,8 +78,8 @@ class ThermalSolver:
     """Optional base class documenting the solver interface.
 
     Solvers are duck-typed — anything with ``advance`` and
-    ``steady_state`` works; subclassing only buys the shared ``dt``
-    validation helper.
+    ``steady_state`` works; subclassing buys the shared ``dt``
+    validation helper and the default :meth:`advance_batch`.
     """
 
     #: Registry name (shown in reports and cache keys).
@@ -91,11 +94,59 @@ class ThermalSolver:
         """Equilibrium temperatures for constant power."""
         raise NotImplementedError
 
+    def advance_batch(self, temps: np.ndarray, block_power: np.ndarray,
+                      dt: float) -> np.ndarray:
+        """Advance ``K`` stacked states at once.
+
+        ``temps`` is ``(n_nodes, K)`` and ``block_power``
+        ``(n_blocks, K)``; column ``k`` of the result is **bitwise
+        identical** to ``advance(temps[:, k], block_power[:, k], dt)``
+        — the contract the ``vectorized`` campaign backend builds its
+        byte-identical-results guarantee on.  The default loops over
+        columns, which satisfies the contract trivially; solvers whose
+        propagator application is a mat-vec override it with a single
+        mat-mat over all ``K`` columns (see
+        :meth:`SparseExactIntegrator.advance_batch`).
+        """
+        return batched_by_columns(self, temps, block_power, dt)
+
     @staticmethod
     def _check_dt(dt: float) -> float:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         return float(dt)
+
+
+def check_batch_shapes(solver, temps: np.ndarray,
+                       block_power: np.ndarray) -> None:
+    """Validate the ``(n_nodes, K)`` / ``(n_blocks, K)`` batch shapes."""
+    n_nodes = solver.network.n_nodes
+    if temps.ndim != 2 or temps.shape[0] != n_nodes:
+        raise ValueError(
+            f"expected ({n_nodes}, K) temperatures, got {temps.shape}")
+    if block_power.ndim != 2 or block_power.shape != \
+            (n_nodes - 1, temps.shape[1]):
+        raise ValueError(
+            f"expected ({n_nodes - 1}, {temps.shape[1]}) block powers, "
+            f"got {block_power.shape}")
+
+
+def batched_by_columns(solver, temps: np.ndarray,
+                       block_power: np.ndarray, dt: float) -> np.ndarray:
+    """Column-by-column :meth:`~ThermalSolver.advance_batch` fallback.
+
+    Works for any object with ``advance``; used as the default batch
+    path by the solvers whose propagator is dense (BLAS gemm results
+    are not bitwise column-stable across batch widths, so a dense
+    mat-mat could not honour the byte-identical contract).
+    """
+    temps = np.asarray(temps, dtype=float)
+    block_power = np.asarray(block_power, dtype=float)
+    check_batch_shapes(solver, temps, block_power)
+    out = np.empty_like(temps)
+    for k in range(temps.shape[1]):
+        out[:, k] = solver.advance(temps[:, k], block_power[:, k], dt)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -187,10 +238,20 @@ class SparseExactIntegrator(ThermalSolver):
 
     def propagate_deviation(self, deviation: np.ndarray,
                             dt: float) -> np.ndarray:
-        """``expm(A dt) @ deviation`` via the Chebyshev recurrence."""
+        """``expm(A dt) @ deviation`` via the Chebyshev recurrence.
+
+        Accepts a single ``(N,)`` deviation or ``K`` column-stacked
+        ones as ``(N, K)``.  The recurrence is built from sparse
+        mat-vecs/mat-mats and elementwise operations only, so each
+        column of the batched result is bitwise identical to running
+        that column alone — scipy's CSR matmat accumulates every
+        output column in the same index order as its matvec.
+        """
         coefs = self._coefficients(dt)
         x = self._scaled_op
-        t0 = self._c_sqrt * deviation
+        c_sqrt = self._c_sqrt if deviation.ndim == 1 \
+            else self._c_sqrt[:, None]
+        t0 = c_sqrt * deviation
         acc = coefs[0] * t0
         if len(coefs) > 1:
             t1 = x @ t0
@@ -198,7 +259,7 @@ class SparseExactIntegrator(ThermalSolver):
             for c in coefs[2:]:
                 t0, t1 = t1, 2.0 * (x @ t1) - t0
                 acc += c * t1
-        return acc / self._c_sqrt
+        return acc / c_sqrt
 
     def steady_state(self, block_power: np.ndarray) -> np.ndarray:
         return self._splu.solve(
@@ -208,6 +269,24 @@ class SparseExactIntegrator(ThermalSolver):
                 dt: float) -> np.ndarray:
         dt = self._check_dt(dt)
         t_ss = self.steady_state(block_power)
+        return t_ss + self.propagate_deviation(temps - t_ss, dt)
+
+    def advance_batch(self, temps: np.ndarray, block_power: np.ndarray,
+                      dt: float) -> np.ndarray:
+        """All ``K`` configs in one sweep of sparse mat-mats.
+
+        One multi-RHS LU solve for the ``K`` steady states (SuperLU
+        solves the columns independently) and one Chebyshev recurrence
+        over the ``(N, K)`` deviation matrix replace ``K`` separate
+        ``advance`` calls; each step of the recurrence is a single
+        sparse mat-mat instead of ``K`` mat-vecs.  Bitwise identical
+        per column to :meth:`advance` (see the solver parity tests).
+        """
+        dt = self._check_dt(dt)
+        temps = np.asarray(temps, dtype=float)
+        block_power = np.asarray(block_power, dtype=float)
+        check_batch_shapes(self, temps, block_power)
+        t_ss = self._splu.solve(self.network.forcing_matrix(block_power))
         return t_ss + self.propagate_deviation(temps - t_ss, dt)
 
 
@@ -281,6 +360,14 @@ class ReducedOrderIntegrator(ThermalSolver):
         self.n_dropped = len(eigenvalues) - self.n_modes
         self._eigenvalues = eigenvalues[:self.n_modes]
         self._basis = eigenvectors[:, :self.n_modes]
+        # Project/lift as sparse operators: CSR products accumulate
+        # each output column in the same order whether applied to one
+        # vector or a K-column matrix, so the batched modal mat-mat in
+        # advance_batch stays bitwise identical per column to advance
+        # (dense BLAS gemm does not offer that column stability).
+        self._proj, self._lift = shared_artifacts.get_or_build(
+            (self.name, digest, "modal-ops", self.n_modes),
+            self._build_modal_ops)
         self._c_sqrt = c_sqrt
         self._decay: Dict[float, np.ndarray] = {}
 
@@ -308,6 +395,11 @@ class ReducedOrderIntegrator(ThermalSolver):
         # eigh returns ascending eigenvalues: slow modes first.
         return eigenvalues, eigenvectors, c_sqrt
 
+    def _build_modal_ops(self):
+        import scipy.sparse as sp
+
+        return (sp.csr_matrix(self._basis.T), sp.csr_matrix(self._basis))
+
     def steady_state(self, block_power: np.ndarray) -> np.ndarray:
         return self._splu.solve(
             self.network.forcing_vector(block_power))
@@ -330,8 +422,37 @@ class ReducedOrderIntegrator(ThermalSolver):
             decay = np.exp(-self._eigenvalues * dt)
             self._decay[key] = decay
         t_ss = self.steady_state(block_power)
-        modal = self._basis.T @ (self._c_sqrt * (temps - t_ss))
-        return t_ss + (self._basis @ (decay * modal)) / self._c_sqrt
+        modal = self._proj @ (self._c_sqrt * (temps - t_ss))
+        return t_ss + (self._lift @ (decay * modal)) / self._c_sqrt
+
+    def advance_batch(self, temps: np.ndarray, block_power: np.ndarray,
+                      dt: float) -> np.ndarray:
+        """Modal propagation of ``K`` stacked states as two mat-mats.
+
+        The projection into (and lift out of) the retained modal basis
+        runs once over the ``(N, K)`` deviation matrix; the per-mode
+        decay is a broadcast multiply.  Bitwise identical per column
+        to :meth:`advance` because both paths apply the same sparse
+        operators (see :attr:`_proj`/:attr:`_lift`).
+        """
+        dt = self._check_dt(dt)
+        temps = np.asarray(temps, dtype=float)
+        block_power = np.asarray(block_power, dtype=float)
+        check_batch_shapes(self, temps, block_power)
+        if self.n_dropped and dt < self.dt_ref:
+            raise ValueError(
+                f"reduced solver dropped {self.n_dropped} mode(s) "
+                f"assuming steps >= dt_ref={self.dt_ref}; got "
+                f"dt={dt}.  Rebuild with dt_ref <= the sensor period")
+        key = round(dt, 12)
+        decay = self._decay.get(key)
+        if decay is None:
+            decay = np.exp(-self._eigenvalues * dt)
+            self._decay[key] = decay
+        t_ss = self._splu.solve(self.network.forcing_matrix(block_power))
+        c_sqrt = self._c_sqrt[:, None]
+        modal = self._proj @ (c_sqrt * (temps - t_ss))
+        return t_ss + (self._lift @ (decay[:, None] * modal)) / c_sqrt
 
 
 # ----------------------------------------------------------------------

@@ -15,7 +15,7 @@ from repro.campaign import (
     expand_campaign,
     sweep,
 )
-from repro.campaign.backends import network_group_key
+from repro.campaign.backends import lockstep_group_key, network_group_key
 from repro.campaign.engine import STORE_FILENAME
 from repro.experiments.config import THRESHOLD_SWEEP_C, ExperimentConfig
 from repro.experiments.runner import run_experiment
@@ -238,12 +238,21 @@ class TestCampaignRunner:
 
 class TestExecutionBackends:
     def test_builtin_backends_registered(self):
-        assert {"serial", "process-pool", "batched"} <= \
+        assert {"serial", "process-pool", "batched", "vectorized"} <= \
             set(backend_registry)
 
     def test_unknown_backend_lists_names(self):
         with pytest.raises(ValueError, match="batched"):
             CampaignRunner(backend="quantum")
+
+    def test_unknown_backend_lists_names_sorted(self):
+        """The error enumerates every backend, alphabetically."""
+        from repro.campaign.backends import make_backend
+        with pytest.raises(ValueError) as err:
+            make_backend("quantum")
+        names = sorted(backend_registry)
+        listed = str(err.value).split(":")[-1]
+        assert [n.strip() for n in listed.split(",")] == names
 
     def test_network_group_key_groups_by_thermal_network(self):
         a = ExperimentConfig(policy="energy", **SHORT)
@@ -274,6 +283,72 @@ class TestExecutionBackends:
             manifests[backend] = result.to_json()
         assert manifests["serial"] == manifests["process-pool"]
         assert manifests["serial"] == manifests["batched"]
+
+    def test_lockstep_group_key_extends_network_key(self):
+        a = ExperimentConfig(policy="energy", **SHORT)
+        b = a.variant(policy="migra", threshold_c=1.0)    # same group
+        c = a.variant(sensor_period_s=0.02)               # other epochs
+        d = a.variant(measure_s=3.0)                      # other phases
+        assert lockstep_group_key(a) == lockstep_group_key(b)
+        assert lockstep_group_key(a) != lockstep_group_key(c)
+        assert lockstep_group_key(a) != lockstep_group_key(d)
+        assert lockstep_group_key(a)[:len(network_group_key(a))] == \
+            network_group_key(a)
+
+    @pytest.mark.parametrize("solver",
+                             ["dense-exact", "sparse-exact", "reduced"])
+    def test_vectorized_backend_byte_identical_to_serial(self, solver):
+        """Acceptance: the lockstep backend's manifest is byte-identical
+        to serial for every solver, on a sweep whose configs share one
+        thermal network (the case the backend batches)."""
+        base = ExperimentConfig(solver=solver, **SHORT)
+        configs = sweep(base, policy=("energy", "migra"),
+                        threshold_c=(1.0, 2.0))
+        manifests = {}
+        for backend in ("serial", "vectorized"):
+            result = CampaignRunner(workers=1, backend=backend).run(
+                configs, name="parity-vec")
+            assert result.n_cached == 0
+            manifests[backend] = result.to_json()
+        assert manifests["serial"] == manifests["vectorized"]
+
+    def test_vectorized_backend_parity_multi_group_pool(self):
+        """Two lockstep groups + workers=2 exercises the pool path."""
+        base = ExperimentConfig(**SHORT)
+        configs = (sweep(base, platform="conf1",
+                         policy=("energy", "migra")) +
+                   sweep(base, platform="conf1-grid",
+                         policy=("energy", "migra")))
+        serial = CampaignRunner(workers=1, backend="serial").run(
+            configs, name="parity-vec-pool")
+        vec = CampaignRunner(workers=2, backend="vectorized").run(
+            configs, name="parity-vec-pool")
+        assert serial.to_json() == vec.to_json()
+
+    def test_vectorized_pool_never_exceeds_group_count(self, monkeypatch):
+        """--workers above the group count must not spawn idle workers."""
+        from repro.campaign import backends as backends_mod
+        base = ExperimentConfig(**SHORT)
+        configs = (sweep(base, platform="conf1",
+                         policy=("energy", "migra")) +
+                   sweep(base, platform="conf1-grid",
+                         policy=("energy", "migra")))
+        sizes = []
+
+        class SpyContext:
+            def __init__(self, ctx):
+                self._ctx = ctx
+
+            def Pool(self, processes):
+                sizes.append(processes)
+                return self._ctx.Pool(processes)
+
+        real = backends_mod.ExecutionBackend._pool_context
+        monkeypatch.setattr(
+            backends_mod.ExecutionBackend, "_pool_context",
+            staticmethod(lambda: SpyContext(real())))
+        backends_mod.make_backend("vectorized").execute(configs, workers=8)
+        assert sizes == [2]   # two groups, not eight workers
 
 
 class TestIncrementalAnalysis:

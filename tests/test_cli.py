@@ -152,6 +152,27 @@ class TestCampaignCommands:
                      "--measure", "2", "--backend", "serial"]) == 0
         assert "serial backend" in capsys.readouterr().out
 
+    def test_campaign_vectorized_backend_with_profile(self, capsys,
+                                                      tmp_path,
+                                                      monkeypatch):
+        """--backend vectorized --profile runs the lockstep path under
+        cProfile, prints the hot-function table and writes the JSON
+        artifact."""
+        import json
+        monkeypatch.chdir(tmp_path)
+        assert main(["campaign", "smoke", "--warmup", "1",
+                     "--measure", "1", "--backend", "vectorized",
+                     "--profile", "prof.json"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized backend" in out
+        assert "by cumulative" in out
+        assert "profile written to prof.json" in out
+        digest = json.loads((tmp_path / "prof.json").read_text())
+        assert digest["total_calls"] > 0
+        assert digest["rows"]
+        functions = " ".join(r["function"] for r in digest["rows"])
+        assert "lockstep" in functions
+
     def test_solver_option_parses_everywhere_backend_does(self):
         parser = build_parser()
         for command in (["campaign", "smoke"], ["sweep"], ["fig7"],

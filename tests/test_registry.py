@@ -54,6 +54,18 @@ class TestGenericRegistry:
         assert "gamma" in message
         assert "alpha" in message and "beta" in message
 
+    def test_unknown_name_listing_is_sorted(self):
+        """Error listings enumerate names alphabetically regardless of
+        registration order (scanning a long list wants an order)."""
+        reg = Registry("widget")
+        for name in ("zeta", "alpha", "mid"):
+            reg.register(name, 1)
+        with pytest.raises(ValueError) as exc:
+            reg.resolve("nope")
+        listed = str(exc.value).split("widgets:")[-1]
+        assert [n.strip() for n in listed.split(",")] == \
+            ["alpha", "mid", "zeta"]
+
     def test_temporarily_restores_previous_entry(self):
         reg = Registry("widget")
         reg.register("a", 1)

@@ -87,6 +87,15 @@ class TestSolverRegistry:
         with pytest.raises(ValueError, match="sparse-exact"):
             make_solver("quantum", net)
 
+    def test_unknown_solver_listing_is_sorted(self):
+        fp = build_floorplan(3)
+        net = build_network(fp, list(fp.names), MOBILE_EMBEDDED)
+        with pytest.raises(ValueError) as err:
+            make_solver("quantum", net)
+        listed = str(err.value).split(":")[-1]
+        assert [n.strip() for n in listed.split(",")] == \
+            sorted(solver_registry)
+
     def test_custom_solver_resolves_through_config(self):
         from repro.experiments.config import ExperimentConfig
         with solver_registry.temporarily("custom", ExactIntegrator):
@@ -141,6 +150,75 @@ class TestSolverParity:
         with pytest.raises(ValueError):
             solver.advance(network.initial_temperatures(),
                            np.zeros(network.n_blocks), 0.0)
+
+
+class TestBatchAdvance:
+    """The batched-step contract: ``advance_batch`` column ``k`` is
+    byte-identical to ``advance`` on column ``k`` for every registered
+    solver — the guarantee the ``vectorized`` campaign backend's
+    byte-identical-results parity is built on."""
+
+    K = 7
+
+    def _batch_states(self, network, rng):
+        temps = network.initial_temperatures()[:, None] \
+            + 10.0 * rng.standard_normal((network.n_nodes, self.K))
+        power = 0.5 * rng.random((network.n_blocks, self.K))
+        return temps, power
+
+    @pytest.mark.parametrize("build,n_tiles,package", NETWORK_CASES)
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_batch_byte_identical_to_column_advance(self, name, build,
+                                                    n_tiles, package):
+        network = _network(build, n_tiles, package)
+        solver = make_solver(name, network)
+        rng = np.random.default_rng(42)
+        temps, power = self._batch_states(network, rng)
+        batched = solver.advance_batch(temps, power, 0.01)
+        assert batched.shape == temps.shape
+        for k in range(self.K):
+            column = solver.advance(temps[:, k], power[:, k], 0.01)
+            assert batched[:, k].tobytes() == column.tobytes(), \
+                f"{name} batch column {k} diverges from advance"
+
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_multi_step_lockstep_trajectory(self, name):
+        """Iterating advance_batch stays byte-identical to K separate
+        per-column trajectories (no drift accumulates)."""
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        solver = make_solver(name, network)
+        rng = np.random.default_rng(7)
+        temps, power = self._batch_states(network, rng)
+        singles = temps.copy()
+        batch = temps.copy()
+        for _ in range(25):
+            batch = solver.advance_batch(batch, power, 0.01)
+            for k in range(self.K):
+                singles[:, k] = solver.advance(singles[:, k],
+                                               power[:, k], 0.01)
+        assert batch.tobytes() == singles.tobytes()
+
+    @pytest.mark.parametrize("name", sorted(TOLERANCES))
+    def test_batch_shape_validation(self, name):
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        solver = make_solver(name, network)
+        good_temps = np.full((network.n_nodes, 3), 40.0)
+        good_power = np.zeros((network.n_blocks, 3))
+        with pytest.raises(ValueError):
+            solver.advance_batch(good_temps[:-1], good_power, 0.01)
+        with pytest.raises(ValueError):
+            solver.advance_batch(good_temps, good_power[:, :2], 0.01)
+        with pytest.raises(ValueError):
+            solver.advance_batch(good_temps, good_power, -1.0)
+
+    def test_reduced_batch_rejects_steps_below_dt_ref(self):
+        network = _network(build_floorplan, 3, MOBILE_EMBEDDED)
+        solver = ReducedOrderIntegrator(network, dt_ref=0.01, n_modes=2,
+                                        max_error_c=None)
+        assert solver.n_dropped > 0
+        with pytest.raises(ValueError, match="dt_ref"):
+            solver.advance_batch(np.full((network.n_nodes, 2), 40.0),
+                                 np.zeros((network.n_blocks, 2)), 0.001)
 
 
 class TestSparseExactIntegrator:
