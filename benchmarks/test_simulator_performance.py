@@ -56,7 +56,10 @@ def test_full_system_simulated_second(benchmark):
         sut = build_system(ExperimentConfig(
             policy="migra", warmup_s=1.0, measure_s=1.0))
         sut.sim.run_until(1.0)
-        return sut.sim.events_executed
+        return sum(s.slices_run for s in sut.mpos.schedulers)
 
-    events = benchmark(run)
-    assert events > 1000
+    # The executed quantum slices measure the simulated work; kernel
+    # event counts depend on the slice engine (coalescing collapses
+    # most slice events into windows).
+    slices = benchmark(run)
+    assert slices > 1000

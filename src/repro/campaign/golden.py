@@ -193,7 +193,13 @@ def default_tolerances() -> Dict[str, ToleranceSpec]:
     """
     specs: Dict[str, ToleranceSpec] = {}
     for name in RunReport.record_columns():
-        if name in RunReport.STR_COLUMNS or name in _CONFIG_ECHO_COLUMNS:
+        if name in RunReport.EVENT_PATH_COLUMNS:
+            # Kernel/scheduler diagnostics: they measure how the run
+            # was executed (slice engine, event coalescing), not what
+            # it computed — the same golden must gate both slice
+            # engines, so these are reported but never gated.
+            specs[name] = ToleranceSpec("ignore")
+        elif name in RunReport.STR_COLUMNS or name in _CONFIG_ECHO_COLUMNS:
             specs[name] = ToleranceSpec("exact")
         elif name in RunReport.INT_COLUMNS:
             specs[name] = ToleranceSpec("exact")

@@ -470,6 +470,16 @@ def _dispatch(args: argparse.Namespace) -> int:
             profile.write_json(args.profile)
             print(result.to_json() if args.json else result.to_text())
             print()
+            # Event-path counters: how much kernel work the campaign
+            # did, and how much of it slice coalescing absorbed.
+            events = sum(r.events_executed for r in result.reports)
+            slices = sum(r.slices_run for r in result.reports)
+            coalesced = sum(r.slices_coalesced for r in result.reports)
+            share = 100.0 * coalesced / slices if slices else 0.0
+            print(f"event path: {events} kernel events, {slices} "
+                  f"scheduler slices, {coalesced} coalesced "
+                  f"({share:.0f}%)")
+            print()
             print(profile.to_text())
             print(f"profile written to {args.profile}")
             return 0

@@ -80,6 +80,11 @@ def finalize_run(sut: SystemUnderTest, energy_j: float) -> RunResult:
     energy consumed over the measurement window.
     """
     config = sut.config
+    # ``t_end`` is an external observation boundary: land any
+    # accounting still deferred to open coalesced slice windows (the
+    # legacy engine has executed every slice event up to here).
+    for s in sut.mpos.schedulers:
+        s.materialize()
     t_from, t_to = config.warmup_s, config.t_end
     temperature = TemperatureMetrics(sut.trace, config.n_cores, t_from, t_to)
     migration = MigrationMetrics(sut.mpos.engine.records, t_from, t_to)
@@ -120,6 +125,10 @@ def finalize_run(sut: SystemUnderTest, energy_j: float) -> RunResult:
         migrations_per_s=migration.per_second,
         migrated_bytes_per_s=migration.bytes_per_second,
         mean_freeze_ms=1000.0 * migration.mean_freeze_s,
+        events_executed=sut.sim.events_executed,
+        slices_run=sum(s.slices_run for s in sut.mpos.schedulers),
+        slices_coalesced=sum(s.slices_coalesced
+                             for s in sut.mpos.schedulers),
         core_mean_c=[temperature.core_mean_c(i)
                      for i in range(config.n_cores)],
         frames_played=qos.frames_played,

@@ -57,6 +57,14 @@ class RunReport:
     energy_j: float = 0.0
     avg_power_w: float = 0.0
 
+    # Event-path observability: kernel and scheduler counters.
+    # ``events_executed`` / ``slices_coalesced`` depend on the slice
+    # engine (REPRO_SLICE_COALESCE) — diagnostics, never gated;
+    # ``slices_run`` is engine-independent by construction.
+    events_executed: int = 0
+    slices_run: int = 0
+    slices_coalesced: int = 0
+
     # Bookkeeping.
     core_mean_c: List[float] = field(default_factory=list)
     frames_played: int = 0
@@ -115,7 +123,13 @@ class RunReport:
     JSON_COLUMNS = ("core_mean_c", "extra")
     #: Integer-valued metric columns.
     INT_COLUMNS = ("deadline_misses", "source_drops", "migrations",
+                   "events_executed", "slices_run", "slices_coalesced",
                    "frames_played")
+    #: Event-path diagnostics: values depend on the slice engine /
+    #: kernel internals, not on simulated behaviour — reported and
+    #: stored, but never gated against a golden.
+    EVENT_PATH_COLUMNS = ("events_executed", "slices_run",
+                          "slices_coalesced")
     #: String-valued identity columns.
     STR_COLUMNS = ("policy", "package", "workload")
 

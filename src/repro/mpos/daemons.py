@@ -20,6 +20,12 @@ from repro.sim.process import PeriodicProcess
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.mpos.system import MPOS
 
+#: Event-category tag on the slave daemon ticks.  Horizon-transparent
+#: to the coalesced slice engine: the tick reads live ``total_cycles``,
+#: so it materializes the local scheduler's window first (see
+#: :meth:`SlaveDaemon._tick`).
+DAEMON_EVENT_CATEGORY = "daemon"
+
 
 @dataclass(frozen=True)
 class TaskStat:
@@ -70,13 +76,17 @@ class SlaveDaemon:
         self.board = board
         self.period_s = float(period_s)
         self._last_cycles: Dict[str, float] = {}
-        self._process = PeriodicProcess(mpos.sim, self.period_s, self._tick)
+        self._process = PeriodicProcess(mpos.sim, self.period_s, self._tick,
+                                        category=DAEMON_EVENT_CATEGORY)
 
     def stop(self) -> None:
         self._process.stop()
 
     def _tick(self, _process: PeriodicProcess) -> None:
         now = self.mpos.sim.now
+        # Land any accounting the slice engine deferred to an open
+        # coalesced window before sampling ``total_cycles``.
+        self.mpos.schedulers[self.core_index].materialize()
         f = self.mpos.chip.tile(self.core_index).frequency_hz
         for task in self.mpos.tasks_on_core(self.core_index):
             prev = self._last_cycles.get(task.name, 0.0)

@@ -15,10 +15,34 @@ and between iterations the **checkpoint**, where pending migration
 requests freeze the task (Sec. 3.2).  Stop&Go's core gating and DVFS
 frequency changes both preempt the current slice and re-account the
 partially executed cycles exactly.
+
+Coalesced slice stepping
+------------------------
+Between two *foreign* kernel events nothing can preempt the tasks on a
+tile: the round-robin rotation over ``current`` + ``run_q`` is fully
+determined, so the per-quantum slice events are pure overhead.  With
+coalescing enabled (the default; see :func:`slice_coalescing_enabled`)
+the scheduler computes a **horizon** — the earlier of the first task
+completion and the next foreign event — and schedules ONE
+``_end_coalesced`` event covering every virtual quantum boundary that
+falls *strictly* before it.  The window end replays the exact
+per-quantum accounting and hand-offs (``planned = min(quantum_s * f,
+remaining)``, sequential float subtraction — NOT a closed-form sum,
+float subtraction is non-associative — plus the requeue/dispatch
+rotation), so ``remaining_cycles``, ``total_cycles``, ``slices_run``,
+``context_switches`` and the ``run_q`` order are bit-for-bit what
+per-quantum stepping produces.  Interruptions (gating, DVFS changes,
+task arrivals, detach) *unwind* the window first:
+:meth:`CoreScheduler._uncoalesce` replays the virtual boundaries up to
+``sim.now`` and re-materializes the legacy in-flight slice, after
+which the ordinary preemption/re-planning code runs unchanged.  The
+legacy per-quantum path stays selectable (``REPRO_SLICE_COALESCE=0``)
+as the differential-testing oracle.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Any, Callable, Deque, Optional
 
@@ -29,6 +53,62 @@ from repro.sim.kernel import Event, Simulator
 #: Cycle slack below which a compute phase counts as finished (absorbs
 #: floating-point dust from partial-slice accounting).
 CYCLE_EPS = 0.5
+
+#: Environment knob selecting the slice engine (default: coalesced).
+COALESCE_ENV = "REPRO_SLICE_COALESCE"
+
+#: Event-category tag on every scheduler quantum/window event.
+SLICE_EVENT_CATEGORY = "slice"
+
+#: Event classes the coalescing horizon looks *through*.  An event may
+#: fire inside an open window only if every effect it can have on this
+#: scheduler either goes through a hook that unwinds the window first
+#: (``_make_ready``, preemption, gating, DVFS re-planning) or is
+#: timing-neutral (``migration_pending``, honoured at checkpoints that
+#: always run through the real completion path):
+#:
+#: * ``"slice"`` — other tiles' quantum/window events reach us only
+#:   via emission wake-ups, which unwind;
+#: * ``"sensor"`` — thermal ticks read chip power/thermal state (which
+#:   is invariant between tile activity transitions, so mid-window
+#:   reads see exactly the legacy values) and drive the policies,
+#:   whose actions all route through the unwind hooks.  Matches
+#:   ``repro.thermal.sensors.SENSOR_EVENT_CATEGORY`` (a literal here
+#:   to keep the OS layer free of thermal imports);
+#: * ``"source"`` / ``"sink"`` — frame producer/consumer ticks
+#:   (``repro.streaming.frames``) mutate queues, but queue state is
+#:   invariant inside a window (tasks push/pop only at completions,
+#:   which terminate windows), and the only path from a queue back to
+#:   a scheduler is the wake-up callbacks, which run ``_make_ready``
+#:   and therefore unwind;
+#: * ``"daemon"`` — the per-core statistics ticks
+#:   (``repro.mpos.daemons``) read live ``total_cycles``, so they
+#:   call :meth:`CoreScheduler.materialize` before reading.
+#:
+#: All four periodic classes are rescheduled one full period (>> one
+#: quantum) ahead, so at an exact timestamp tie the legacy engine
+#: fires them *before* the slice event — the tie rules in
+#: :meth:`CoreScheduler._uncoalesce` and the window-end deferral in
+#: :meth:`CoreScheduler._end_coalesced` reproduce that order.
+#: Migration and load-modulation events — aperiodic, mutating tasks on
+#: their own clock — keep bounding the horizon.
+HORIZON_TRANSPARENT_CATEGORIES = (SLICE_EVENT_CATEGORY, "sensor",
+                                  "source", "sink", "daemon")
+
+
+def slice_coalescing_enabled() -> bool:
+    """The process-wide default for :attr:`CoreScheduler.coalesce`.
+
+    Controlled by the ``REPRO_SLICE_COALESCE`` environment variable
+    (``0`` / ``false`` / ``off`` / ``no`` disable it); both modes are
+    byte-identical in every reported metric except the event-path
+    diagnostics (``events_executed`` / ``slices_coalesced``), so the
+    knob is deliberately *not* part of ``ExperimentConfig`` — it does
+    not change config hashes or golden identities.
+    """
+    return os.environ.get(COALESCE_ENV, "1").strip().lower() \
+        not in ("0", "false", "off", "no")
+
 
 FreezeCallback = Callable[[StreamTask], None]
 
@@ -63,8 +143,22 @@ class CoreScheduler:
         self._slice_f_hz = 0.0
         self._slice_planned_cycles = 0.0
 
+        #: Slice engine selector (see :func:`slice_coalescing_enabled`);
+        #: flip per-instance for differential testing.
+        self.coalesce = slice_coalescing_enabled()
+        # Open coalesced window: one pending event standing in for
+        # ``_co_slices`` virtual quantum slices starting at
+        # ``_co_started`` with frequency ``_co_f_hz``.
+        self._co_event: Optional[Event] = None
+        self._co_started = 0.0
+        self._co_f_hz = 0.0
+        self._co_slices = 0
+
         self.context_switches = 0
         self.slices_run = 0
+        #: How many of ``slices_run`` were accounted inside coalesced
+        #: windows (i.e. without a dedicated kernel event).
+        self.slices_coalesced = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -92,6 +186,7 @@ class CoreScheduler:
             task.phase = TaskPhase.ACQUIRE
             self._try_start_iteration(task)
         elif task.state is TaskState.READY:
+            self._uncoalesce()     # a new competitor joins the rotation
             self.run_q.append(task)
             self._maybe_dispatch()
         else:
@@ -104,6 +199,7 @@ class CoreScheduler:
         if task is self.current:
             self._preempt_current(to_front=False, requeue=False)
         if task in self.run_q:
+            self._uncoalesce()     # the rotation loses a member
             self.run_q.remove(task)
 
     # ------------------------------------------------------------------
@@ -171,10 +267,25 @@ class CoreScheduler:
         captured at slice start, then the remainder is re-scheduled at
         the new frequency.
         """
+        self._uncoalesce()         # re-plan from the materialized slice
         if self.current is None or self._slice_event is None:
             return
         self._charge_partial_slice()
         self._begin_slice()
+
+    # ------------------------------------------------------------------
+    # external observation
+    # ------------------------------------------------------------------
+    def materialize(self) -> None:
+        """Replay any open coalesced window up to ``sim.now``.
+
+        An open window defers per-quantum accounting to its window
+        event, so external readers of live task state — the per-core
+        statistics daemons, differential tests — call this first to
+        land the deferred boundaries.  A no-op when no window is open
+        (including whenever coalescing is off).
+        """
+        self._uncoalesce()
 
     # ------------------------------------------------------------------
     # internals — iteration state machine
@@ -196,6 +307,7 @@ class CoreScheduler:
         task.remaining_cycles = task.draw_frame_cycles()
 
     def _make_ready(self, task: StreamTask) -> None:
+        self._uncoalesce()         # a competitor ends the solo window
         task.state = TaskState.READY
         self.run_q.append(task)
         self._maybe_dispatch()
@@ -215,6 +327,16 @@ class CoreScheduler:
     def _begin_slice(self) -> None:
         task = self.current
         assert task is not None and task.phase is TaskPhase.COMPUTE
+        if self.coalesce and not self.gated \
+                and not task.migration_pending \
+                and not any(t.migration_pending for t in self.run_q) \
+                and self._begin_coalesced(task):
+            return
+        self._begin_single_slice()
+
+    def _begin_single_slice(self) -> None:
+        """Legacy per-quantum engine: one kernel event per slice."""
+        task = self.current
         f = self.frequency_hz
         planned = min(self.quantum_s * f, max(task.remaining_cycles, 0.0))
         self._slice_started = self.sim.now
@@ -222,7 +344,207 @@ class CoreScheduler:
         self._slice_planned_cycles = planned
         self.chip.set_tile_active(self.tile_index, True)
         self._slice_event = self.sim.schedule(planned / f, self._end_slice)
+        self._slice_event.category = SLICE_EVENT_CATEGORY
         self.slices_run += 1
+
+    # ------------------------------------------------------------------
+    # internals — coalesced slice engine
+    # ------------------------------------------------------------------
+    def _begin_coalesced(self, task: StreamTask) -> bool:
+        """Open a coalesced window, or return False to run per-quantum.
+
+        Replays the virtual quantum boundaries ``t_k = t_{k-1} +
+        planned_k / f`` (the exact float arithmetic the legacy engine's
+        ``schedule(planned / f)`` chain produces) over the round-robin
+        rotation ``current, run_q[0], run_q[1], ...`` and counts how
+        many fall *strictly* before the horizon — the next pending
+        event outside :data:`HORIZON_TRANSPARENT_CATEGORIES`, or the
+        first task completion.  No event that could gate, re-clock,
+        reorder or *read* the rotation's accounting fires inside an
+        open window without unwinding it first.  Windows shorter than
+        two slices fall back to the legacy engine, which reproduces
+        the event/seq tie-ordering at the horizon boundary by
+        construction.
+        """
+        f = self.frequency_hz
+        horizon = self.sim.peek_time_excluding(
+            category=HORIZON_TRANSPARENT_CATEGORIES)
+        quantum_cycles = self.quantum_s * f
+        rotation = [task.remaining_cycles]
+        rotation.extend(t.remaining_cycles for t in self.run_q)
+        end = self.sim.now
+        n_slices = 0
+        i = 0
+        while True:
+            planned = min(quantum_cycles, max(rotation[i], 0.0))
+            t_next = end + planned / f
+            if horizon is not None and not (t_next < horizon):
+                break
+            n_slices += 1
+            end = t_next
+            rotation[i] -= planned
+            if rotation[i] <= CYCLE_EPS:
+                break              # completion boundary inside window
+            if len(rotation) > 1:  # quantum expired: round-robin
+                i = (i + 1) % len(rotation)
+        if n_slices < 2:
+            return False
+        self._co_started = self.sim.now
+        self._co_f_hz = f
+        self._co_slices = n_slices
+        self.chip.set_tile_active(self.tile_index, True)
+        self._co_event = self.sim.schedule_at(end, self._end_coalesced)
+        self._co_event.category = SLICE_EVENT_CATEGORY
+        self.slices_run += 1       # slice 1 of the window began
+        return True
+
+    def _co_advance(self) -> None:
+        """Replay one virtual quantum boundary.
+
+        The identical operation sequence the legacy ``_end_slice`` /
+        ``_maybe_dispatch`` pair performs at a non-completing boundary:
+        account the running task's slice (``planned`` recomputed from
+        the *current* remaining cycles before the subtraction — float
+        subtraction is not associative, so no closed form), then the
+        round-robin hand-off when competitors wait.
+        """
+        task = self.current
+        assert task is not None
+        planned = min(self.quantum_s * self._co_f_hz,
+                      max(task.remaining_cycles, 0.0))
+        task.remaining_cycles -= planned
+        task.total_cycles += planned
+        if self.run_q:
+            task.state = TaskState.READY
+            self.run_q.append(task)
+            nxt = self.run_q.popleft()
+            nxt.state = TaskState.RUNNING
+            self.current = nxt
+            self.context_switches += 1
+        self.slices_run += 1       # the next slice began here
+        self.slices_coalesced += 1
+
+    def _end_coalesced(self) -> None:
+        """Apply a completed window: replay every covered quantum.
+
+        Boundaries ``1 .. m-1`` each ended one slice and began the
+        next (:meth:`_co_advance`); slice ``m`` is rematerialized as
+        the legacy in-flight slice and finished by ``_end_slice``,
+        which owns the completion / round-robin / continue logic and
+        whose ``_begin_slice`` call opens the next window.
+        """
+        assert self.current is not None
+        self._co_event = None
+        boundaries = self._co_slices - 1
+        now = self.sim.now
+        if self.sim.peek_time() == now:
+            # A pending event ties at the window end — a transparent
+            # periodic tick, rescheduled a full period (>> quantum)
+            # before ``now`` and hence carrying a lower seq than the
+            # slice event the legacy engine would have scheduled one
+            # quantum ago.  It must fire before the final slice does:
+            # rematerialize that slice as a fresh kernel event (fresh
+            # seq = after every tied event) instead of finishing
+            # inline, tracking the boundary times so the in-flight
+            # ``_slice_started`` is bitwise the legacy slice start.
+            f = self._co_f_hz
+            quantum_cycles = self.quantum_s * f
+            start = self._co_started
+            for _ in range(boundaries):
+                planned = min(quantum_cycles,
+                              max(self.current.remaining_cycles, 0.0))
+                start = start + planned / f
+                self._co_advance()
+            self._co_slices = 0
+            task = self.current
+            self._slice_started = start
+            self._slice_f_hz = f
+            self._slice_planned_cycles = min(
+                quantum_cycles, max(task.remaining_cycles, 0.0))
+            self.slices_coalesced += 1
+            self._slice_event = self.sim.schedule_at(now, self._end_slice)
+            self._slice_event.category = SLICE_EVENT_CATEGORY
+            return
+        if not self.run_q:
+            # Solo fast path: no hand-offs, so the replay is a pure
+            # accounting loop — local floats, counters added in bulk
+            # (the exact same operation sequence, nothing observes the
+            # intermediate states).
+            task = self.current
+            quantum_cycles = self.quantum_s * self._co_f_hz
+            remaining = task.remaining_cycles
+            total = task.total_cycles
+            for _ in range(boundaries):
+                planned = min(quantum_cycles, max(remaining, 0.0))
+                remaining -= planned
+                total += planned
+            task.remaining_cycles = remaining
+            task.total_cycles = total
+            self.slices_run += boundaries
+            self.slices_coalesced += boundaries
+        else:
+            for _ in range(boundaries):
+                self._co_advance()
+        self._co_slices = 0
+        task = self.current
+        f = self._co_f_hz
+        self._slice_started = now            # unused by _end_slice
+        self._slice_f_hz = f
+        self._slice_planned_cycles = min(self.quantum_s * f,
+                                         max(task.remaining_cycles, 0.0))
+        self.slices_coalesced += 1
+        self._end_slice()
+
+    def _uncoalesce(self) -> None:
+        """Unwind an open window at ``sim.now`` (an interruption).
+
+        Reconstructs the exact state the legacy engine would hold at
+        this point: every virtual boundary before ``now`` has fired,
+        the slice containing ``now`` is in flight with a real kernel
+        event at its natural boundary.  After this the ordinary
+        preemption / re-planning / round-robin code applies unchanged
+        — ``_charge_partial_slice`` charges the in-flight fraction
+        with its usual expression.
+
+        A boundary *exactly at* ``now`` needs the legacy tie-order: it
+        has fired for external interrupts (``run_until`` executes
+        events with timestamp ``<= now``) and for slice-class
+        interrupters (a waking producer's emission event is sequenced
+        after the consumer boundary it ties with), but NOT for
+        periodic foreign events such as sensor ticks — those are
+        scheduled at least one full period early, hence carry a lower
+        seq than the boundary event and run first.
+        """
+        if self._co_event is None:
+            return
+        assert self.current is not None
+        self._co_event.cancel()
+        self._co_event = None
+        now = self.sim.now
+        f = self._co_f_hz
+        quantum_cycles = self.quantum_s * f
+        interrupter = self.sim.current_event
+        tie_fired = interrupter is None \
+            or interrupter.category == SLICE_EVENT_CATEGORY
+        start = self._co_started
+        replayed = 0
+        while True:
+            task = self.current
+            assert task is not None
+            planned = min(quantum_cycles, max(task.remaining_cycles, 0.0))
+            t_end = start + planned / f
+            if t_end > now or (t_end == now and not tie_fired) \
+                    or replayed >= self._co_slices - 1:
+                break              # the slice containing ``now``
+            self._co_advance()
+            start = t_end
+            replayed += 1
+        self._co_slices = 0
+        self._slice_started = start
+        self._slice_f_hz = f
+        self._slice_planned_cycles = planned
+        self._slice_event = self.sim.schedule_at(t_end, self._end_slice)
+        self._slice_event.category = SLICE_EVENT_CATEGORY
 
     def _end_slice(self) -> None:
         task = self.current
@@ -296,6 +618,7 @@ class CoreScheduler:
         self.current.total_cycles += done
 
     def _preempt_current(self, to_front: bool, requeue: bool) -> None:
+        self._uncoalesce()
         task = self.current
         assert task is not None
         if self._slice_event is not None:

@@ -37,7 +37,8 @@ class Event:
     skipped when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "category", "_sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple,
@@ -47,6 +48,10 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Optional creator-assigned class tag (e.g. ``"slice"`` for
+        #: scheduler quantum events), queryable through
+        #: :meth:`Simulator.peek_time_excluding`.
+        self.category: Optional[str] = None
         # Back-reference while queued, so the simulator's live-event
         # counter stays exact; cleared when popped or cancelled.
         self._sim = sim
@@ -88,6 +93,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._current_event: Optional[Event] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -137,6 +143,16 @@ class Simulator:
         """Total callbacks executed since construction."""
         return self._events_executed
 
+    @property
+    def current_event(self) -> Optional[Event]:
+        """The event whose callback is executing right now (else ``None``).
+
+        Uniform across :meth:`run`, :meth:`run_until` and externally
+        driven :meth:`step` loops, so callees can tell an in-simulation
+        caller (and its :attr:`Event.category`) from an external one.
+        """
+        return self._current_event
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if queue is empty."""
         self._drop_cancelled()
@@ -155,17 +171,49 @@ class Simulator:
         self._drop_cancelled()
         return self._queue[0] if self._queue else None
 
+    def peek_time_excluding(self, event: Optional[Event] = None,
+                            category: Optional[Any] = None,
+                            ) -> Optional[float]:
+        """Timestamp of the next live event, skipping some events.
+
+        The query hook behind slice coalescing: a scheduler planning a
+        long uninterruptible stretch asks "when is the next event that
+        is *not* slice machinery?" to bound its horizon.  ``event``
+        skips one specific event (it may be ``None`` or no longer
+        queued); ``category`` — a tag string or a collection of them —
+        skips every event carrying a matching :attr:`Event.category`
+        tag.  That form scans the queue (O(n)), which the caller
+        amortizes over the window it opens.
+        """
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        if category is None:
+            head = self._queue[0]
+            if head is not event:
+                return head.time
+            # The excluded event is the head: look one live event past.
+            heapq.heappop(self._queue)
+            self._drop_cancelled()
+            time = self._queue[0].time if self._queue else None
+            heapq.heappush(self._queue, head)
+            return time
+        excluded = (category,) if isinstance(category, str) else category
+        best: Optional[float] = None
+        for queued in self._queue:
+            if queued.cancelled or queued is event \
+                    or queued.category in excluded:
+                continue
+            if best is None or queued.time < best:
+                best = queued.time
+        return best
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False when none remain."""
         self._drop_cancelled()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
-        self._live -= 1
-        event._sim = None          # no longer queued; a late cancel()
-        self.now = event.time      # must not touch the counter
-        self._events_executed += 1
-        event.callback(*event.args)
+        self._execute(heapq.heappop(self._queue))
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -196,10 +244,13 @@ class Simulator:
         self._guard_reentrancy()
         try:
             while not self._stopped:
-                next_time = self.peek_time()
-                if next_time is None or next_time > time:
+                # One heap touch per iteration: the head inspected here
+                # is the event executed, instead of peek_time()/step()
+                # each independently dropping cancelled heads.
+                self._drop_cancelled()
+                if not self._queue or self._queue[0].time > time:
                     break
-                self.step()
+                self._execute(heapq.heappop(self._queue))
             self.now = max(self.now, float(time))
         finally:
             self._running = False
@@ -220,6 +271,19 @@ class Simulator:
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+
+    def _execute(self, event: Event) -> None:
+        """Run an event already popped off the heap (known live head)."""
+        self._live -= 1
+        event._sim = None          # no longer queued; a late cancel()
+        self.now = event.time      # must not touch the counter
+        self._events_executed += 1
+        previous = self._current_event
+        self._current_event = event
+        try:
+            event.callback(*event.args)
+        finally:
+            self._current_event = previous
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Simulator now={self.now:.6f} pending={self.pending_events} "

@@ -30,21 +30,28 @@ class PeriodicProcess:
     start_delay:
         Delay before the first tick (defaults to one full period, i.e.
         the first tick happens at ``now + period``).
+    category:
+        Optional :attr:`Event.category` tag stamped on every tick
+        event, so kernel queries can treat the whole recurrence as one
+        class (e.g. the thermal sensor's ``"sensor"`` tag).
     """
 
     def __init__(self, sim: Simulator, period: float,
                  callback: Callable[["PeriodicProcess"], Any],
-                 start_delay: Optional[float] = None):
+                 start_delay: Optional[float] = None,
+                 category: Optional[str] = None):
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         self.sim = sim
         self.period = float(period)
         self.callback = callback
+        self.category = category
         self.ticks = 0
         self._event: Optional[Event] = None
         self._stopped = False
         first = self.period if start_delay is None else float(start_delay)
         self._event = sim.schedule(first, self._fire)
+        self._event.category = category
 
     def _fire(self) -> None:
         if self._stopped:
@@ -52,6 +59,7 @@ class PeriodicProcess:
         self.ticks += 1
         # Reschedule before invoking so the callback can cancel us cleanly.
         self._event = self.sim.schedule(self.period, self._fire)
+        self._event.category = self.category
         self.callback(self)
 
     def stop(self) -> None:

@@ -17,6 +17,14 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicProcess
 from repro.streaming.qos import QoSTracker
 
+#: Event-category tags on the source/sink ticks.  Both are
+#: horizon-transparent to the coalesced slice engine
+#: (``repro.mpos.scheduler.HORIZON_TRANSPARENT_CATEGORIES``): they
+#: only mutate queues — invariant inside an open window — and reach
+#: schedulers exclusively through the wake-up callbacks, which unwind.
+SOURCE_EVENT_CATEGORY = "source"
+SINK_EVENT_CATEGORY = "sink"
+
 
 @dataclass(frozen=True)
 class Frame:
@@ -36,7 +44,8 @@ class FrameSource:
         self.period_s = float(period_s)
         self.qos = qos
         self.frames_produced = 0
-        self._process = PeriodicProcess(sim, self.period_s, self._tick)
+        self._process = PeriodicProcess(sim, self.period_s, self._tick,
+                                        category=SOURCE_EVENT_CATEGORY)
 
     def _tick(self, _p: PeriodicProcess) -> None:
         frame = Frame(self.frames_produced, self.sim.now)
@@ -67,7 +76,8 @@ class PlaybackSink:
         self.start_delay_s = float(start_delay_s)
         self._process = PeriodicProcess(
             sim, self.period_s, self._tick,
-            start_delay=self.start_delay_s + self.period_s)
+            start_delay=self.start_delay_s + self.period_s,
+            category=SINK_EVENT_CATEGORY)
 
     def _tick(self, _p: PeriodicProcess) -> None:
         frame = self.queue.pop()

@@ -26,6 +26,14 @@ from repro.thermal.solvers import DEFAULT_SOLVER, make_solver
 #: The sensor update period stated in Sec. 4 of the paper.
 DEFAULT_SENSOR_PERIOD_S = 0.010
 
+#: Event-category tag on every sensor tick.  A tick only reads chip
+#: power/thermal state (invariant between tile activity transitions)
+#: and acts on the schedulers exclusively through their unwind hooks
+#: (gate/ungate, DVFS re-planning) or timing-neutral flags, so the
+#: slice-coalescing horizon may look straight through this class (see
+#: ``repro.mpos.scheduler.HORIZON_TRANSPARENT_CATEGORIES``).
+SENSOR_EVENT_CATEGORY = "sensor"
+
 TemperatureListener = Callable[[float, np.ndarray], None]
 
 
@@ -74,7 +82,8 @@ class ThermalSubsystem:
         self.temps = network.initial_temperatures()
         self._listeners: List[TemperatureListener] = []
         self._core_indices = chip.core_block_indices()
-        self._process = PeriodicProcess(sim, self.period_s, self._tick)
+        self._process = PeriodicProcess(sim, self.period_s, self._tick,
+                                        category=SENSOR_EVENT_CATEGORY)
         self.updates = 0
         self._injected: Optional[np.ndarray] = None
         # Trace keys are invariant; building the f-strings on every tick

@@ -380,3 +380,173 @@ class TestCancelAfterPop:
         ev.cancel()
         ev.cancel()
         assert sim.pending_events == 0
+
+
+class TestPeekTimeExcluding:
+    """The horizon query behind slice coalescing."""
+
+    def test_empty_queue_returns_none(self):
+        assert Simulator().peek_time_excluding() is None
+
+    def test_without_exclusion_matches_peek_time(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peek_time_excluding() == 1.0
+
+    def test_excluding_non_head_event_returns_head(self):
+        sim = Simulator()
+        later = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.peek_time_excluding(later) == 1.0
+
+    def test_excluding_head_returns_next_live_time(self):
+        sim = Simulator()
+        head = sim.schedule(1.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek_time_excluding(head) == 3.0
+
+    def test_excluding_only_event_returns_none(self):
+        sim = Simulator()
+        head = sim.schedule(1.0, lambda: None)
+        assert sim.peek_time_excluding(head) is None
+
+    def test_excluded_head_is_restored(self):
+        sim = Simulator()
+        fired = []
+        head = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.peek_time_excluding(head)       # pops + pushes the head
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        head = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        doomed.cancel()
+        assert sim.peek_time_excluding(head) == 3.0
+
+    def test_category_excludes_tagged_events(self):
+        sim = Simulator()
+        tagged = sim.schedule(1.0, lambda: None)
+        tagged.category = "slice"
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time_excluding(category="slice") == 2.0
+
+    def test_category_collection(self):
+        sim = Simulator()
+        for t, tag in ((1.0, "slice"), (2.0, "sensor"), (3.0, None)):
+            ev = sim.schedule(t, lambda: None)
+            ev.category = tag
+        assert sim.peek_time_excluding(
+            category=("slice", "sensor")) == 3.0
+
+    def test_category_scan_skips_cancelled_and_event(self):
+        sim = Simulator()
+        doomed = sim.schedule(1.0, lambda: None)
+        doomed.cancel()
+        mine = sim.schedule(2.0, lambda: None)
+        tagged = sim.schedule(3.0, lambda: None)
+        tagged.category = "slice"
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek_time_excluding(mine, category="slice") == 4.0
+
+    def test_category_all_excluded_returns_none(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.category = "slice"
+        assert sim.peek_time_excluding(category="slice") is None
+
+
+class TestCurrentEvent:
+    def test_none_outside_execution(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.current_event is None
+        sim.run()
+        assert sim.current_event is None
+
+    def test_set_to_firing_event_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.schedule(1.0, lambda: seen.append(sim.current_event))
+        ev.category = "sensor"
+        sim.run()
+        assert seen == [ev]
+        assert seen[0].category == "sensor"
+
+    def test_uniform_across_step_and_run_until(self):
+        # External step() drivers (the lockstep backend) must observe
+        # the same current_event a run_until() loop would.
+        seen = []
+        for drive in ("step", "run_until"):
+            sim = Simulator()
+            sim.schedule(1.0, lambda s=sim: seen.append(s.current_event))
+            if drive == "step":
+                sim.step()
+            else:
+                sim.run_until(1.0)
+        assert all(ev is not None for ev in seen)
+
+    def test_restored_after_raising_callback(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert sim.current_event is None
+
+
+class TestRunUntilHeapDiscipline:
+    """``run_until`` touches the heap once per executed event: the head
+    inspected is the head executed, instead of ``peek_time()`` +
+    ``step()`` independently re-dropping cancelled heads."""
+
+    class CountingSimulator(Simulator):
+        def __init__(self):
+            super().__init__()
+            self.drop_calls = 0
+
+        def _drop_cancelled(self):
+            self.drop_calls += 1
+            super()._drop_cancelled()
+
+    def test_one_drop_pass_per_iteration(self):
+        sim = self.CountingSimulator()
+        n = 50
+        for i in range(n):
+            sim.schedule(0.001 * (i + 1), lambda: None)
+        sim.run_until(1.0)
+        assert sim.events_executed == n
+        # n executing iterations + the final break check.
+        assert sim.drop_calls == n + 1
+
+    def test_cancelled_heads_execute_correct_count(self):
+        sim = self.CountingSimulator()
+        fired = []
+        doomed = [sim.schedule(0.001 * (i + 1), lambda: fired.append("x"))
+                  for i in range(10)]
+        for ev in doomed[::2]:
+            ev.cancel()
+        sim.run_until(1.0)
+        assert sim.events_executed == 5
+        assert len(fired) == 5
+        assert sim.now == 1.0
+
+    def test_cancelled_head_not_double_dropped(self):
+        sim = self.CountingSimulator()
+        doomed = sim.schedule(1.0, lambda: None)
+        keeper = []
+        sim.schedule(2.0, lambda: keeper.append(1))
+        doomed.cancel()
+        sim.run_until(3.0)
+        assert keeper == [1]
+        assert sim.events_executed == 1
+        # one executing iteration + the final break check, regardless
+        # of the cancelled head in front.
+        assert sim.drop_calls == 2
