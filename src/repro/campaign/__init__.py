@@ -25,7 +25,14 @@ service, split into separable layers:
 * **Result store** (:mod:`repro.campaign.store`) — a queryable SQLite
   table of completed runs (one flat row per run, keyed by config hash
   and campaign name) that doubles as the cross-session cache and the
-  export surface (CSV, legacy JSON manifests).
+  export surface (CSV, legacy JSON manifests); remotely produced rows
+  import through the idempotent :meth:`ResultStore.merge_from`.
+* **Campaign fabric** (:mod:`repro.campaign.fabric`) — a durable
+  SQLite work queue plus coordinator/worker loops behind the
+  ``distributed`` backend: campaigns journal their configs, fan out
+  over supervised worker processes, survive worker loss (lease
+  timeouts, bounded retries) and resume after a kill byte-identically
+  to a serial pass (``repro worker``, ``repro queue``).
 * **Golden baselines** (:mod:`repro.campaign.golden`) — committed,
   tolerance-gated snapshots of a campaign's metric rows
   (``repro baseline record/check/promote``); the regression gate CI
@@ -57,9 +64,17 @@ Adding a scenario end-to-end::
 
 from repro.campaign.backends import (
     ExecutionBackend,
+    ExecutionContext,
     backend_registry,
     make_backend,
     register_backend,
+)
+from repro.campaign.fabric import (
+    CampaignQueue,
+    Coordinator,
+    FabricError,
+    QueueError,
+    run_worker,
 )
 from repro.campaign.builder import SystemBuilder, SystemUnderTest
 from repro.campaign.golden import (
@@ -91,11 +106,16 @@ from repro.campaign.store import (
 )
 
 __all__ = [
+    "CampaignQueue",
     "CampaignResult",
     "CampaignRun",
     "CampaignRunner",
+    "Coordinator",
     "DiffRow",
     "ExecutionBackend",
+    "ExecutionContext",
+    "FabricError",
+    "QueueError",
     "GoldenBaseline",
     "GoldenError",
     "RegressionReport",
@@ -114,6 +134,7 @@ __all__ = [
     "make_backend",
     "register_backend",
     "register_campaign",
+    "run_worker",
     "shared_runner",
     "sweep",
 ]

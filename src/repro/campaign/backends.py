@@ -28,6 +28,11 @@ Built-in backends, resolved by name through :data:`backend_registry`:
   mat-mat (see :mod:`repro.campaign.lockstep`).  Best for sweeps with
   many configs per network — threshold sweeps, seed sweeps — on
   machines with few cores.
+* ``distributed`` — the resumable campaign fabric
+  (:mod:`repro.campaign.fabric`): configs are journaled to a durable
+  SQLite queue, leased in lockstep-group batches by supervised worker
+  processes, and merged back idempotently.  Survives worker loss and
+  whole-campaign kills; re-running resumes from the journal.
 
 New backends plug in without touching the runner::
 
@@ -43,7 +48,11 @@ New backends plug in without touching the runner::
 from __future__ import annotations
 
 import multiprocessing
-from typing import TYPE_CHECKING, Dict, List, Tuple
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.metrics.report import RunReport
 from repro.registry import Registry
@@ -68,12 +77,31 @@ def make_backend(name: str) -> "ExecutionBackend":
     return backend_registry.resolve(name)
 
 
+@dataclass
+class ExecutionContext:
+    """Optional campaign context the runner offers to backends.
+
+    Most backends are pure functions of ``(configs, workers)`` and
+    ignore this entirely; backends with durable state (the
+    ``distributed`` fabric's queue journal) implement
+    ``execute_in_context(configs, workers, context)`` instead of
+    :meth:`ExecutionBackend.execute` and receive the campaign name and
+    the runner's ``cache_dir`` — which is where ``queue.sqlite`` lives
+    so an interrupted campaign resumes from the same journal.
+    """
+
+    cache_dir: Optional[Path] = None
+    campaign: str = "adhoc"
+
+
 class ExecutionBackend:
     """Strategy for executing a batch of simulations.
 
     Subclasses implement :meth:`execute`; results must align with the
     input order.  Backends hold no per-campaign state, so one instance
-    serves every runner.
+    serves every runner.  A backend may additionally implement
+    ``execute_in_context(configs, workers, context)`` to receive an
+    :class:`ExecutionContext`; the runner prefers it when present.
     """
 
     #: Registry name (also shown in campaign summaries).
@@ -249,3 +277,50 @@ class VectorizedBackend(ExecutionBackend):
             for i, d in zip(batch, dicts):
                 reports[i] = RunReport(**d)
         return reports
+
+
+@register_backend("distributed")
+class DistributedBackend(ExecutionBackend):
+    """Coordinator + N worker processes over a durable queue.
+
+    Configs are journaled to ``queue.sqlite`` (in
+    ``<cache_dir>/queue``, overridable via ``REPRO_QUEUE_DIR``), local
+    workers lease lockstep-group batches and stream rows into
+    per-worker stores, and the coordinator merges them back
+    idempotently.  Unlike the other backends this one is *resumable*:
+    kill the whole campaign at any point and re-running it completes
+    only the journal's unfinished tasks, byte-identical to a serial
+    pass (see :mod:`repro.campaign.fabric` and
+    ``tests/test_fabric_faults.py``).
+    """
+
+    name = "distributed"
+
+    def execute(self, configs: List["ExperimentConfig"],
+                workers: int) -> List[RunReport]:
+        return self.execute_in_context(configs, workers, None)
+
+    def execute_in_context(self, configs: List["ExperimentConfig"],
+                           workers: int,
+                           context: Optional[ExecutionContext],
+                           ) -> List[RunReport]:
+        from repro.campaign.fabric import Coordinator, collect_reports
+        if not configs:
+            return []
+        env_dir = os.environ.get("REPRO_QUEUE_DIR")
+        if env_dir:
+            queue_dir = Path(env_dir)
+        elif context is not None and context.cache_dir is not None:
+            queue_dir = Path(context.cache_dir) / "queue"
+        else:
+            # No durable home: the journal still makes the run itself
+            # crash-consistent, it just won't survive into a resume.
+            queue_dir = Path(tempfile.mkdtemp(prefix="repro-queue-"))
+        campaign = context.campaign if context is not None else "adhoc"
+        coordinator = Coordinator(queue_dir)
+        try:
+            coordinator.enqueue(configs, campaign=campaign)
+            coordinator.run(workers=workers)
+            return collect_reports(coordinator, configs)
+        finally:
+            coordinator.close()

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
-from repro.campaign.backends import make_backend
+from repro.campaign.backends import ExecutionContext, make_backend
 from repro.campaign.store import ResultStore, load_manifest
 from repro.metrics.report import RunReport
 
@@ -199,8 +199,18 @@ class CampaignRunner:
             else:
                 missing.append((key, config))
 
-        fresh = engine.execute([config for _, config in missing],
-                               n_workers)
+        # Backends with durable state (the distributed fabric) take an
+        # execution context — campaign name plus cache_dir, the home
+        # of their queue journal; plain backends keep the two-argument
+        # protocol untouched.
+        to_run = [config for _, config in missing]
+        execute_in_context = getattr(engine, "execute_in_context", None)
+        if execute_in_context is not None:
+            context = ExecutionContext(cache_dir=self.cache_dir,
+                                       campaign=name)
+            fresh = execute_in_context(to_run, n_workers, context)
+        else:
+            fresh = engine.execute(to_run, n_workers)
         for (key, config), report in zip(missing, fresh):
             reports[key] = report
             self._store(key, config, report, campaign=name)

@@ -1,0 +1,723 @@
+"""Resumable distributed campaign fabric: coordinator + worker loops.
+
+The fabric turns a campaign into a durable work queue so sweeps can fan
+out over worker processes, survive worker (or coordinator) loss, and
+resume without recomputation:
+
+* :class:`CampaignQueue` — a SQLite journal (``queue.sqlite``, living
+  next to ``results.sqlite``) of one task per configuration, keyed by
+  config hash.  Tasks move ``pending -> leased -> done`` (or
+  ``failed`` once their bounded retries are exhausted); leases carry a
+  timeout, so work held by a SIGKILLed worker returns to ``pending``
+  automatically.  Every state change is one committed SQLite
+  transaction — a crash between any two writes rolls back cleanly on
+  the next open.
+* :func:`run_worker` — the worker loop (``repro worker --queue DIR``):
+  lease a batch of configs sharing a
+  :func:`~repro.campaign.backends.lockstep_group_key`, run them
+  through an ordinary in-process
+  :class:`~repro.campaign.backends.ExecutionBackend` (``serial`` or
+  ``vectorized``), persist each row to the worker's own result store
+  (``results-<worker>.sqlite``), then mark the task done.  Rows are
+  written *before* the task is marked done, so a crash in between
+  re-runs the task and the duplicate row is absorbed by the
+  idempotent :meth:`~repro.campaign.store.ResultStore.merge_from`.
+* :class:`Coordinator` — owns the queue: enqueues campaigns
+  (idempotently — resubmitting a campaign repairs torn rows and skips
+  completed ones), spawns and respawns local worker processes, reaps
+  expired leases, and merges the per-worker stores into one result
+  store.
+
+Correctness is gated by determinism: simulations are byte-reproducible,
+so any interleaving of retries, duplicated rows and shuffled merges
+must converge to the exact store a single serial pass produces — the
+fault-injection suite (``tests/test_fabric_faults.py``) kills workers
+and coordinators at arbitrary points and asserts precisely that.
+
+Fault-injection hooks (used by tests and the ``distributed-smoke`` CI
+job):
+
+* ``REPRO_FABRIC_KILL_AFTER=<n>`` — a worker SIGKILLs itself right
+  after persisting its *n*-th result row but *before* marking the task
+  done (the nastiest crash point: the row exists, the lease does not
+  know).  The fault fires exactly once per queue, recorded in the
+  journal's ``faults`` table, so respawned workers make progress.
+* :func:`run_worker`'s ``fault_hook`` — an in-process callback invoked
+  at every stage (``leased`` / ``computed`` / ``stored`` / ``done``);
+  raising from it simulates a crash at that exact point.
+
+Environment knobs (all optional): ``REPRO_QUEUE_DIR`` pins the queue
+directory of the ``distributed`` backend, ``REPRO_FABRIC_LEASE_S`` and
+``REPRO_FABRIC_RETRIES`` seed a *new* queue's lease timeout and retry
+budget (both become journal policy: workers opening an existing queue
+inherit its stored settings, not their own environment), and
+``REPRO_FABRIC_WORKER_BACKEND`` picks the in-worker execution backend.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sqlite3
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+from repro.campaign.store import ResultStore, StoreError
+from repro.metrics.report import RunReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.config import ExperimentConfig
+
+#: The queue journal's filename inside a queue directory.
+QUEUE_FILENAME = "queue.sqlite"
+
+#: The merged result store the coordinator maintains in the queue dir.
+MERGED_FILENAME = "merged.sqlite"
+
+#: Task lifecycle states.  ``torn`` marks a row whose config JSON is
+#: damaged (a torn write); it is excluded from leasing and repaired by
+#: the next :meth:`CampaignQueue.enqueue` of the same campaign.
+STATES = ("pending", "leased", "done", "failed", "torn")
+
+DEFAULT_LEASE_TIMEOUT_S = 30.0
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    try:
+        return float(value) if value else default
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    try:
+        return int(value) if value else default
+    except ValueError:
+        return default
+
+
+class QueueError(RuntimeError):
+    """The queue file exists but is not a readable campaign queue."""
+
+
+class FabricError(RuntimeError):
+    """A campaign could not be completed (tasks failed permanently)."""
+
+
+@dataclass
+class QueueTask:
+    """One leased unit of work: a configuration and its bookkeeping."""
+
+    config_hash: str
+    campaign: str
+    config: Dict
+    attempts: int
+
+
+class CampaignQueue:
+    """Durable SQLite journal of a campaign's pending configurations.
+
+    Parameters
+    ----------
+    queue_dir:
+        Directory holding ``queue.sqlite`` (created on first write),
+        the per-worker result stores and the coordinator's merged
+        store.
+    lease_timeout_s:
+        Seconds a lease stays valid; expired leases return to
+        ``pending`` (or ``failed`` once retries are exhausted).
+    retries:
+        How many *re*-runs a task gets after its first attempt — a
+        config is handed to a worker at most ``retries + 1`` times.
+    backoff_s:
+        Base of the linear retry backoff (``attempts * backoff_s``).
+
+    The three knobs are *journal policy*, persisted in the queue file:
+    an explicit argument (re)writes the journal's setting, while
+    ``None`` reads back whatever the queue was created with — so the
+    coordinator decides the policy once and every worker that opens
+    the same queue (even in another process, with a different
+    environment) inherits it.  ``REPRO_FABRIC_LEASE_S`` /
+    ``REPRO_FABRIC_RETRIES`` only seed a queue that has no stored
+    policy yet.
+    """
+
+    def __init__(self, queue_dir, lease_timeout_s: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 backoff_s: Optional[float] = None):
+        self.queue_dir = Path(queue_dir)
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.queue_dir / QUEUE_FILENAME
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA busy_timeout = 10000")
+        try:
+            self._create_schema()
+            self.lease_timeout_s = self._resolve_setting(
+                "lease_timeout_s", lease_timeout_s,
+                _env_float("REPRO_FABRIC_LEASE_S",
+                           DEFAULT_LEASE_TIMEOUT_S))
+            self.retries = int(self._resolve_setting(
+                "retries", retries,
+                _env_int("REPRO_FABRIC_RETRIES", DEFAULT_RETRIES)))
+            self.backoff_s = self._resolve_setting(
+                "backoff_s", backoff_s, DEFAULT_BACKOFF_S)
+            self._conn.commit()
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise QueueError(
+                f"{self.path} is not a campaign queue ({error})") from None
+
+    def _resolve_setting(self, key: str, explicit: Optional[float],
+                         fallback: float) -> float:
+        """Journal-policy resolution: explicit > stored > fallback."""
+        if explicit is not None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO settings (key, value) "
+                "VALUES (?, ?)", (key, float(explicit)))
+            return float(explicit)
+        row = self._conn.execute(
+            "SELECT value FROM settings WHERE key = ?",
+            (key,)).fetchone()
+        if row is not None:
+            return float(row[0])
+        self._conn.execute(
+            "INSERT OR REPLACE INTO settings (key, value) "
+            "VALUES (?, ?)", (key, float(fallback)))
+        return float(fallback)
+
+    def _create_schema(self) -> None:
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS tasks ("
+            "config_hash TEXT PRIMARY KEY, "
+            "campaign TEXT NOT NULL, "
+            "config TEXT NOT NULL, "
+            "group_key TEXT NOT NULL, "
+            "state TEXT NOT NULL DEFAULT 'pending', "
+            "attempts INTEGER NOT NULL DEFAULT 0, "
+            "lease_id TEXT, "
+            "lease_expires REAL, "
+            "not_before REAL NOT NULL DEFAULT 0, "
+            "last_error TEXT)")
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_tasks_state "
+            "ON tasks (state)")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS faults (name TEXT PRIMARY KEY)")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS settings "
+            "(key TEXT PRIMARY KEY, value REAL NOT NULL)")
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def enqueue(self, configs: Iterable["ExperimentConfig"],
+                campaign: str = "adhoc") -> int:
+        """Journal configurations as pending tasks (idempotent).
+
+        Resubmitting a campaign is always safe: tasks already
+        journaled keep their state (``done`` stays done, in-flight
+        leases are untouched), while rows damaged by a torn write are
+        repaired from the authoritative config being enqueued.
+        Returns the number of rows added or repaired.
+        """
+        from repro.campaign.backends import lockstep_group_key
+        new = 0
+        for config in configs:
+            key = config.config_hash()
+            group = json.dumps(lockstep_group_key(config))
+            payload = json.dumps(config.to_dict(), sort_keys=True)
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO tasks "
+                "(config_hash, campaign, config, group_key) "
+                "VALUES (?, ?, ?, ?)", (key, campaign, payload, group))
+            if cursor.rowcount:
+                new += 1
+                continue
+            row = self._conn.execute(
+                "SELECT state, config FROM tasks WHERE config_hash = ?",
+                (key,)).fetchone()
+            if row["state"] == "torn" or _parse_config(row["config"]) \
+                    is None:
+                # Torn write repair: overwrite the damaged row with a
+                # fresh pending task built from the submitted config.
+                self._conn.execute(
+                    "UPDATE tasks SET campaign = ?, config = ?, "
+                    "group_key = ?, state = 'pending', attempts = 0, "
+                    "lease_id = NULL, lease_expires = NULL, "
+                    "not_before = 0, last_error = NULL "
+                    "WHERE config_hash = ?",
+                    (campaign, payload, group, key))
+                new += 1
+        self._conn.commit()
+        return new
+
+    # ------------------------------------------------------------------
+    # leasing
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str, limit: Optional[int] = None,
+              now: Optional[float] = None) -> List[QueueTask]:
+        """Lease one batch of pending tasks sharing a lockstep group.
+
+        The batch is every eligible pending task of the oldest
+        pending task's :func:`lockstep_group_key` (up to ``limit``),
+        so a ``vectorized`` worker receives a group it can advance in
+        one mat-mat per epoch.  Damaged rows are skipped with a
+        warning, never an exception.  Returns ``[]`` when nothing is
+        leasable right now (empty queue, backoff, or active leases).
+        """
+        now = time.time() if now is None else now
+        self.reclaim_expired(now)
+        group = None
+        while group is None:
+            row = self._conn.execute(
+                "SELECT config_hash, config, group_key FROM tasks "
+                "WHERE state = 'pending' AND not_before <= ? "
+                "ORDER BY rowid LIMIT 1", (now,)).fetchone()
+            if row is None:
+                return []
+            if _parse_config(row["config"]) is None:
+                self._mark_torn(row["config_hash"])
+                continue
+            group = row["group_key"]
+        query = ("SELECT config_hash, campaign, config, attempts "
+                 "FROM tasks WHERE state = 'pending' AND "
+                 "not_before <= ? AND group_key = ? ORDER BY rowid")
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        tasks: List[QueueTask] = []
+        for row in self._conn.execute(query, (now, group)).fetchall():
+            config = _parse_config(row["config"])
+            if config is None:
+                self._mark_torn(row["config_hash"])
+                continue
+            # The UPDATE's state guard is the race arbiter: if another
+            # worker leased the row between our SELECT and here, the
+            # guard fails and the row is simply not ours.
+            cursor = self._conn.execute(
+                "UPDATE tasks SET state = 'leased', lease_id = ?, "
+                "lease_expires = ?, attempts = attempts + 1 "
+                "WHERE config_hash = ? AND state = 'pending'",
+                (worker_id, now + self.lease_timeout_s,
+                 row["config_hash"]))
+            if cursor.rowcount:
+                tasks.append(QueueTask(config_hash=row["config_hash"],
+                                       campaign=row["campaign"],
+                                       config=config,
+                                       attempts=row["attempts"] + 1))
+        self._conn.commit()
+        return tasks
+
+    def _mark_torn(self, config_hash: str) -> None:
+        """Quarantine a damaged row (repaired by the next enqueue)."""
+        warnings.warn(
+            f"queue row {config_hash} is corrupt (torn write); "
+            f"skipping it — re-enqueue the campaign to repair",
+            RuntimeWarning, stacklevel=3)
+        self._conn.execute(
+            "UPDATE tasks SET state = 'torn' WHERE config_hash = ?",
+            (config_hash,))
+        self._conn.commit()
+
+    def reclaim_expired(self, now: Optional[float] = None) -> int:
+        """Return timed-out leases to ``pending`` (or ``failed``).
+
+        A worker that died holding a lease looks exactly like a slow
+        worker until the lease expires; afterwards the task is
+        re-runnable by anyone.  Tasks whose retry budget is spent move
+        to ``failed`` instead.
+        """
+        now = time.time() if now is None else now
+        rows = self._conn.execute(
+            "SELECT config_hash, attempts FROM tasks "
+            "WHERE state = 'leased' AND lease_expires < ?",
+            (now,)).fetchall()
+        for row in rows:
+            if row["attempts"] >= self.retries + 1:
+                self._conn.execute(
+                    "UPDATE tasks SET state = 'failed', lease_id = NULL, "
+                    "last_error = 'lease expired with retries "
+                    "exhausted' WHERE config_hash = ? AND "
+                    "state = 'leased'", (row["config_hash"],))
+            else:
+                self._conn.execute(
+                    "UPDATE tasks SET state = 'pending', "
+                    "lease_id = NULL, lease_expires = NULL, "
+                    "not_before = ? WHERE config_hash = ? AND "
+                    "state = 'leased'",
+                    (now + self.backoff_s * row["attempts"],
+                     row["config_hash"]))
+        if rows:
+            self._conn.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # task completion
+    # ------------------------------------------------------------------
+    def complete(self, config_hash: str, worker_id: str) -> bool:
+        """Mark a leased task done (no-op if the lease was lost)."""
+        cursor = self._conn.execute(
+            "UPDATE tasks SET state = 'done', lease_id = NULL, "
+            "lease_expires = NULL, last_error = NULL "
+            "WHERE config_hash = ? AND lease_id = ? AND "
+            "state = 'leased'", (config_hash, worker_id))
+        self._conn.commit()
+        return bool(cursor.rowcount)
+
+    def fail(self, config_hash: str, worker_id: str,
+             error: str, now: Optional[float] = None) -> None:
+        """Record a failed attempt; re-enqueue with backoff or fail."""
+        now = time.time() if now is None else now
+        row = self._conn.execute(
+            "SELECT attempts FROM tasks WHERE config_hash = ? AND "
+            "lease_id = ? AND state = 'leased'",
+            (config_hash, worker_id)).fetchone()
+        if row is None:
+            return
+        if row["attempts"] >= self.retries + 1:
+            self._conn.execute(
+                "UPDATE tasks SET state = 'failed', lease_id = NULL, "
+                "lease_expires = NULL, last_error = ? "
+                "WHERE config_hash = ?", (error, config_hash))
+        else:
+            self._conn.execute(
+                "UPDATE tasks SET state = 'pending', lease_id = NULL, "
+                "lease_expires = NULL, not_before = ?, last_error = ? "
+                "WHERE config_hash = ?",
+                (now + self.backoff_s * row["attempts"], error,
+                 config_hash))
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # queries and management
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Task counts per state (every state present, possibly 0)."""
+        out = {state: 0 for state in STATES}
+        for row in self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM tasks "
+                "GROUP BY state"):
+            out[row["state"]] = int(row["n"])
+        return out
+
+    def finished(self) -> bool:
+        """True when no task is pending or leased (all terminal)."""
+        row = self._conn.execute(
+            "SELECT 1 FROM tasks WHERE state IN ('pending', 'leased') "
+            "LIMIT 1").fetchone()
+        return row is None
+
+    def failed_tasks(self) -> List[Dict]:
+        """``{config_hash, attempts, last_error}`` of failed tasks."""
+        rows = self._conn.execute(
+            "SELECT config_hash, attempts, last_error FROM tasks "
+            "WHERE state = 'failed' ORDER BY rowid").fetchall()
+        return [dict(row) for row in rows]
+
+    def max_attempts(self) -> int:
+        """The largest attempt count of any task (simulation bound)."""
+        row = self._conn.execute(
+            "SELECT MAX(attempts) FROM tasks").fetchone()
+        return int(row[0] or 0)
+
+    def retry_failed(self) -> int:
+        """Move failed tasks back to pending with a fresh budget."""
+        cursor = self._conn.execute(
+            "UPDATE tasks SET state = 'pending', attempts = 0, "
+            "not_before = 0, last_error = NULL WHERE state = 'failed'")
+        self._conn.commit()
+        return cursor.rowcount
+
+    def drain(self) -> int:
+        """Remove every non-completed task (cancel outstanding work)."""
+        cursor = self._conn.execute(
+            "DELETE FROM tasks WHERE state IN "
+            "('pending', 'failed', 'torn')")
+        self._conn.commit()
+        return cursor.rowcount
+
+    def claim_fault(self, name: str) -> bool:
+        """Atomically claim a named one-shot fault injection point.
+
+        True exactly once per queue — the mechanism behind
+        ``REPRO_FABRIC_KILL_AFTER`` staying a single fault even though
+        respawned workers inherit the environment.
+        """
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO faults (name) VALUES (?)", (name,))
+        self._conn.commit()
+        return bool(cursor.rowcount)
+
+
+def _parse_config(payload: str) -> Optional[Dict]:
+    """A task row's config dict, or ``None`` if the row is damaged."""
+    try:
+        config = json.loads(payload)
+    except (TypeError, ValueError):
+        return None
+    return config if isinstance(config, dict) else None
+
+
+# ----------------------------------------------------------------------
+# worker loop
+# ----------------------------------------------------------------------
+def worker_store_path(queue_dir, worker_id: str) -> Path:
+    """The result store a worker streams its rows into."""
+    return Path(queue_dir) / f"results-{worker_id}.sqlite"
+
+
+def run_worker(queue_dir, worker_id: Optional[str] = None,
+               backend: Optional[str] = None, poll_s: float = 0.05,
+               max_batches: Optional[int] = None,
+               fault_hook: Optional[Callable[[str, QueueTask],
+                                             None]] = None) -> int:
+    """Lease and execute batches until the queue is finished.
+
+    Each batch shares a lockstep group key, so ``backend`` may be any
+    in-process backend — ``serial`` or ``vectorized`` (one
+    ``advance_batch`` per sensor epoch across the whole lease).  Rows
+    are persisted to this worker's own store *before* the task is
+    marked done; the coordinator's idempotent merge absorbs the
+    duplicate row a crash between the two writes produces.  Returns
+    the number of tasks completed.
+    """
+    from repro.campaign.backends import make_backend
+    from repro.experiments.config import ExperimentConfig
+
+    worker_id = worker_id or f"w{os.getpid()}"
+    backend = backend or os.environ.get(
+        "REPRO_FABRIC_WORKER_BACKEND", "serial")
+    queue = CampaignQueue(queue_dir)
+    store = ResultStore(worker_store_path(queue_dir, worker_id))
+    kill_after = _env_int("REPRO_FABRIC_KILL_AFTER", 0)
+    engine = make_backend(backend)
+    completed = stored = batches = 0
+    try:
+        while True:
+            tasks = queue.lease(worker_id)
+            if not tasks:
+                if queue.finished():
+                    break
+                time.sleep(poll_s)
+                continue
+            if fault_hook is not None:
+                for task in tasks:
+                    fault_hook("leased", task)
+            parsed = []
+            for task in tasks:
+                # An unresolvable config (scenario registered only in
+                # the submitter's process, say) fails just that task,
+                # not the whole batch and never the worker.
+                try:
+                    parsed.append(
+                        (task, ExperimentConfig.from_dict(task.config)))
+                except Exception as error:   # noqa: BLE001
+                    queue.fail(task.config_hash, worker_id, repr(error))
+            if not parsed:
+                continue
+            try:
+                reports = engine.execute(
+                    [config for _, config in parsed], workers=1)
+            except Exception as error:   # noqa: BLE001 - any run error
+                # A failing run (solver blow-up, resource exhaustion)
+                # must not kill the worker: record the attempt and let
+                # the bounded-retry machinery decide its fate.
+                for task, _ in parsed:
+                    queue.fail(task.config_hash, worker_id, repr(error))
+                continue
+            for (task, config), report in zip(parsed, reports):
+                if fault_hook is not None:
+                    fault_hook("computed", task)
+                store.put(task.config_hash, config.to_dict(), report,
+                          campaign=task.campaign)
+                stored += 1
+                if fault_hook is not None:
+                    fault_hook("stored", task)
+                if kill_after and stored >= kill_after and \
+                        queue.claim_fault(f"kill-after-{kill_after}"):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if queue.complete(task.config_hash, worker_id):
+                    completed += 1
+                if fault_hook is not None:
+                    fault_hook("done", task)
+            batches += 1
+            if max_batches is not None and batches >= max_batches:
+                break
+    finally:
+        store.close()
+        queue.close()
+    return completed
+
+
+def _worker_entry(queue_dir: str, backend: str) -> None:
+    """Subprocess entry point for coordinator-spawned workers."""
+    # Under spawn/forkserver the registries are re-imported from
+    # scratch; pull in the in-repo modules that register extra
+    # scenarios so journaled configs validate (mirrors the execution
+    # backends' worker entry points).
+    from repro.experiments import ablation, figure1  # noqa: F401
+    run_worker(queue_dir, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+class Coordinator:
+    """Owns a campaign queue and supervises local worker processes.
+
+    The coordinator is restartable by construction: all of its state
+    lives in the queue journal and the per-worker result stores, so a
+    new coordinator pointed at the same ``queue_dir`` resumes exactly
+    where a killed one stopped — re-enqueueing is idempotent, expired
+    leases are reaped on the fly, and merging is keyed by
+    ``(config_hash, campaign)``.
+    """
+
+    def __init__(self, queue_dir, lease_timeout_s: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 worker_backend: Optional[str] = None,
+                 poll_s: float = 0.05):
+        self.queue_dir = Path(queue_dir)
+        self.queue = CampaignQueue(queue_dir,
+                                   lease_timeout_s=lease_timeout_s,
+                                   retries=retries)
+        self.worker_backend = worker_backend or os.environ.get(
+            "REPRO_FABRIC_WORKER_BACKEND", "serial")
+        self.poll_s = poll_s
+
+    def close(self) -> None:
+        self.queue.close()
+
+    def enqueue(self, configs: Iterable["ExperimentConfig"],
+                campaign: str = "adhoc") -> int:
+        """Journal a campaign's configurations (idempotent)."""
+        return self.queue.enqueue(configs, campaign=campaign)
+
+    def spawn_worker(self) -> multiprocessing.process.BaseProcess:
+        """Start one worker process against this queue."""
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        process = context.Process(
+            target=_worker_entry,
+            args=(str(self.queue_dir), self.worker_backend),
+            daemon=False)
+        process.start()
+        return process
+
+    def run(self, workers: int = 2, respawn_limit: int = 32) -> None:
+        """Drive the queue to a terminal state with ``workers`` locals.
+
+        Dead workers are respawned (up to ``respawn_limit``) while
+        work remains; leases of the dead are reaped by timeout.  The
+        call returns when every task is ``done`` or ``failed`` —
+        inspect :meth:`CampaignQueue.failed_tasks` (or let
+        :func:`collect_reports` raise) for permanent failures.
+        """
+        workers = max(1, int(workers))
+        procs = [self.spawn_worker() for _ in range(workers)]
+        respawns = 0
+        try:
+            while not self.queue.finished():
+                self.queue.reclaim_expired()
+                for i, proc in enumerate(procs):
+                    if proc.is_alive():
+                        continue
+                    proc.join()
+                    if self.queue.finished():
+                        continue
+                    if respawns < respawn_limit:
+                        procs[i] = self.spawn_worker()
+                        respawns += 1
+                if not any(p.is_alive() for p in procs) \
+                        and respawns >= respawn_limit \
+                        and not self.queue.finished():
+                    raise FabricError(
+                        "all workers exited with work remaining and "
+                        f"the respawn budget ({respawn_limit}) spent")
+                time.sleep(self.poll_s)
+        finally:
+            deadline = time.time() + max(10.0,
+                                         2 * self.queue.lease_timeout_s)
+            for proc in procs:
+                proc.join(timeout=max(0.0, deadline - time.time()))
+                if proc.is_alive():   # pragma: no cover - safety net
+                    proc.terminate()
+                    proc.join()
+
+    def merge_into(self, store: ResultStore) -> int:
+        """Merge every worker store into ``store`` (idempotent).
+
+        A corrupt worker store is skipped with a warning — its tasks
+        will surface as missing rows and be retried or reported, not
+        crash the merge.  Returns the number of rows imported.
+        """
+        imported = 0
+        for path in sorted(self.queue_dir.glob("results-*.sqlite")):
+            try:
+                worker_store = ResultStore(path)
+            except StoreError as error:
+                warnings.warn(f"skipping corrupt worker store {path}: "
+                              f"{error}", RuntimeWarning)
+                continue
+            try:
+                imported += store.merge_from(worker_store)
+            finally:
+                worker_store.close()
+        return imported
+
+    def merged_store(self) -> ResultStore:
+        """The coordinator's merged store, refreshed from workers."""
+        store = ResultStore(self.queue_dir / MERGED_FILENAME)
+        self.merge_into(store)
+        return store
+
+
+def collect_reports(coordinator: Coordinator,
+                    configs: List["ExperimentConfig"],
+                    ) -> List[RunReport]:
+    """Reports for ``configs`` from the merged store, in order.
+
+    Raises :class:`FabricError` naming the permanently failed tasks if
+    any config has no completed row.
+    """
+    store = coordinator.merged_store()
+    try:
+        reports, missing = [], []
+        for config in configs:
+            report = store.get(config.config_hash())
+            if report is None:
+                missing.append(config.config_hash())
+            else:
+                reports.append(report)
+    finally:
+        store.close()
+    if missing:
+        failed = coordinator.queue.failed_tasks()
+        details = "; ".join(
+            f"{task['config_hash']} after {task['attempts']} attempt(s)"
+            f" ({task['last_error']})" for task in failed) or "none"
+        raise FabricError(
+            f"{len(missing)} config(s) never completed "
+            f"({', '.join(missing)}); failed tasks: {details} — "
+            f"'repro queue retry' re-enqueues them")
+    return reports

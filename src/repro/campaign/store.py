@@ -15,7 +15,12 @@ re-running or re-aggregating anything:
 * ``repro results`` lists campaigns, shows/filters runs and exports
   CSV; :meth:`ResultStore.import_manifests` /
   :meth:`ResultStore.export_manifests` round-trip the pre-store
-  per-run JSON manifests for back-compat.
+  per-run JSON manifests for back-compat;
+* rows produced remotely (the campaign fabric's workers,
+  :mod:`repro.campaign.fabric`) import through the idempotent
+  :meth:`ResultStore.merge_from`, keyed by ``(config_hash,
+  campaign)`` so duplication, partial writes and merge order cannot
+  change the outcome.
 
 The schema is derived from the flat record, so adding a metric to
 :class:`~repro.metrics.report.RunReport` extends the store
@@ -285,6 +290,55 @@ class ResultStore:
                 json.dumps(manifest, indent=2, sort_keys=True))
             written.add(run.config_hash)
         return len(written)
+
+    # ------------------------------------------------------------------
+    # merging (the distributed-campaign import path)
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "ResultStore") -> int:
+        """Import rows from another store, exactly once per key.
+
+        Keyed by ``(config_hash, campaign)`` with *insert-if-absent*
+        semantics: rows already present are left untouched.  Runs are
+        deterministic, so two stores never disagree about a key's
+        content — which makes the merge idempotent, order-independent
+        and safe under duplication: any interleaving of merges over
+        any partition of the rows converges to the same
+        :meth:`canonical_bytes` image (property-tested in
+        ``tests/test_campaign_store.py``).  Merging a store into
+        itself is a no-op.  Returns the number of rows imported.
+        """
+        rows = other._conn.execute("SELECT * FROM runs").fetchall()
+        imported = 0
+        for row in rows:
+            present = set(row.keys())
+            columns = [name for name in
+                       ["config_hash", "campaign", "config"]
+                       + self._columns if name in present]
+            quoted = ", ".join(f'"{c}"' for c in columns)
+            placeholders = ", ".join("?" for _ in columns)
+            cursor = self._conn.execute(
+                f"INSERT OR IGNORE INTO runs ({quoted}) "
+                f"VALUES ({placeholders})",
+                [row[name] for name in columns])
+            imported += cursor.rowcount
+        self._conn.commit()
+        return imported
+
+    def canonical_bytes(self, campaign: Optional[str] = None) -> bytes:
+        """A deterministic byte image of the store's logical content.
+
+        Two stores holding the same runs yield identical bytes
+        regardless of insertion order, merge history or SQLite page
+        layout — the equality the fault-injection suite asserts
+        between a resumed distributed campaign and a serial pass.
+        """
+        rows = [{"config_hash": run.config_hash,
+                 "campaign": run.campaign,
+                 "config": run.config,
+                 "record": run.report.to_record()}
+                for run in self.runs(campaign=campaign)]
+        return json.dumps(rows, sort_keys=True,
+                          separators=(",", ":")).encode()
 
     # ------------------------------------------------------------------
     # cross-campaign comparison

@@ -40,6 +40,17 @@ Sweep many configurations through the campaign engine::
         sweeps the multi-application families against a committed
         golden.
 
+Distribute a campaign over a durable queue (resumable: kill it at any
+point and re-run the same command to complete only what is missing)::
+
+    repro campaign threshold-sweep --backend distributed --workers 4 \\
+                                   --cache-dir DIR
+    repro worker --queue DIR/queue           # extra workers, any host
+                                             # sharing the filesystem
+    repro queue status --queue DIR/queue     # pending/leased/done/failed
+    repro queue retry --queue DIR/queue      # failed -> pending
+    repro queue drain --queue DIR/queue      # cancel outstanding work
+
 Query and export completed runs from a result store::
 
     repro results list --cache-dir DIR
@@ -120,6 +131,9 @@ _EXPERIMENTS = (
     "sweep: ad-hoc cartesian sweep (policies x thresholds x packages)",
     "results: query/export a campaign result store (list, show, diff, "
     "export, import)",
+    "worker: lease and run configs from a campaign-fabric queue",
+    "queue: inspect/manage a campaign-fabric queue (status, retry, "
+    "drain)",
     "baseline: golden-baseline regression gate (record, check, "
     "promote)",
     "ablation: design-choice studies (candidate-filter, top-k, strategy, "
@@ -310,6 +324,40 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory of <config_hash>.json files")
             rp.add_argument("--campaign", default="imported",
                             help="campaign name for the imported rows")
+
+    p = sub.add_parser("worker",
+                       help="lease and run configs from a "
+                            "campaign-fabric queue")
+    p.add_argument("--queue", metavar="DIR", required=True,
+                   dest="queue_dir",
+                   help="queue directory (holds queue.sqlite; created "
+                        "by a distributed campaign or a coordinator)")
+    p.add_argument("--backend", default="serial",
+                   choices=[name for name in backend_registry.names()
+                            if name != "distributed"],
+                   help="in-process backend for leased batches "
+                        "(default serial; vectorized advances a whole "
+                        "lease per sensor epoch)")
+    p.add_argument("--poll", type=float, default=0.1, metavar="S",
+                   help="idle poll interval in seconds (default 0.1)")
+    p.add_argument("--max-batches", type=int, default=None, metavar="N",
+                   help="stop after N leased batches (default: run "
+                        "until the queue is finished)")
+
+    p = sub.add_parser("queue",
+                       help="inspect/manage a campaign-fabric queue")
+    queue_sub = p.add_subparsers(dest="queue_command", required=True)
+    for sub_name, sub_help in (
+            ("status", "task counts per state (exit 1 if any task "
+                       "failed permanently)"),
+            ("retry", "move failed tasks back to pending with a "
+                      "fresh retry budget"),
+            ("drain", "remove every pending/failed task (cancel "
+                      "outstanding work)")):
+        qp = queue_sub.add_parser(sub_name, help=sub_help)
+        qp.add_argument("--queue", metavar="DIR", required=True,
+                        dest="queue_dir",
+                        help="queue directory (holds queue.sqlite)")
 
     p = sub.add_parser("baseline",
                        help="golden-baseline regression gate")
@@ -521,6 +569,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "results":
         return _dispatch_results(args)
+    if args.command in ("worker", "queue"):
+        return _dispatch_fabric(args)
     if args.command == "baseline":
         return _dispatch_baseline(args)
     if args.command == "thermal-map":
@@ -617,6 +667,67 @@ def _dispatch_baseline(args: argparse.Namespace) -> int:
 
     raise AssertionError(
         f"unhandled baseline command {args.baseline_command!r}")
+
+
+def _dispatch_fabric(args: argparse.Namespace) -> int:
+    """The campaign-fabric commands (``worker`` and ``queue``)."""
+    from repro.campaign.fabric import (QUEUE_FILENAME, CampaignQueue,
+                                       QueueError, run_worker)
+
+    queue_path = Path(args.queue_dir) / QUEUE_FILENAME
+    if not queue_path.is_file():
+        print(f"error: no campaign queue at {queue_path} (a "
+              f"distributed campaign or coordinator creates it)",
+              file=sys.stderr)
+        return 2
+
+    if args.command == "worker":
+        try:
+            completed = run_worker(args.queue_dir,
+                                   backend=args.backend,
+                                   poll_s=args.poll,
+                                   max_batches=args.max_batches)
+        except QueueError as error:   # corrupt/foreign file at the path
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"worker finished: {completed} task(s) completed")
+        return 0
+
+    try:
+        queue = CampaignQueue(args.queue_dir)
+    except QueueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.queue_command == "status":
+            counts = queue.counts()
+            print(f"queue at {queue_path}: "
+                  f"{sum(counts.values())} task(s)")
+            print(f"{'state':<10}{'tasks':>6}")
+            for state, count in counts.items():
+                print(f"{state:<10}{count:>6d}")
+            failed = queue.failed_tasks()
+            for task in failed:
+                print(f"failed: {task['config_hash']} after "
+                      f"{task['attempts']} attempt(s): "
+                      f"{task['last_error']}")
+            return 1 if failed else 0
+
+        if args.queue_command == "retry":
+            count = queue.retry_failed()
+            print(f"{count} failed task(s) re-enqueued")
+            return 0
+
+        if args.queue_command == "drain":
+            count = queue.drain()
+            print(f"{count} task(s) removed from the queue")
+            return 0
+    finally:
+        queue.close()
+
+    raise AssertionError(
+        f"unhandled queue command {args.queue_command!r}")
 
 
 def _dispatch_results(args: argparse.Namespace) -> int:

@@ -284,3 +284,128 @@ class TestLoadManifest:
 
     def test_missing_file(self, tmp_path):
         assert load_manifest(tmp_path / "absent.json") is None
+
+
+# ----------------------------------------------------------------------
+# merge_from: the distributed-campaign import path
+# ----------------------------------------------------------------------
+def _keyed_report(config_hash: str) -> RunReport:
+    """A deterministic report per key — the merge model of determinism:
+    two stores can only ever hold the *same* content for a key."""
+    seed = sum(config_hash.encode())
+    return _report(policy=f"p-{config_hash}",
+                   threshold_c=float(seed % 5),
+                   peak_c=50.0 + (seed % 17) * 0.25)
+
+
+def _put_rows(store: ResultStore, rows) -> None:
+    for config_hash, campaign in rows:
+        store.put(config_hash, {"k": config_hash},
+                  _keyed_report(config_hash), campaign=campaign)
+
+
+class TestMergeFrom:
+    def test_imports_missing_rows_once(self, tmp_path):
+        a = ResultStore(tmp_path / "a.sqlite")
+        b = ResultStore(tmp_path / "b.sqlite")
+        _put_rows(a, [("h1", "x")])
+        _put_rows(b, [("h1", "x"), ("h2", "x"), ("h1", "y")])
+        assert a.merge_from(b) == 2              # h1/x already present
+        assert len(a) == 3
+        assert a.merge_from(b) == 0              # idempotent
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_merge_into_self_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        _put_rows(store, [("h1", "x"), ("h2", "y")])
+        before = store.canonical_bytes()
+        assert store.merge_from(store) == 0
+        assert store.canonical_bytes() == before
+
+    def test_existing_rows_left_untouched(self, tmp_path):
+        """Insert-if-absent: a merge never rewrites a present key, so
+        merge order cannot matter."""
+        a = ResultStore(tmp_path / "a.sqlite")
+        b = ResultStore(tmp_path / "b.sqlite")
+        a.put("h1", {}, _report(peak_c=61.5), campaign="x")
+        b.put("h1", {}, _report(peak_c=99.0), campaign="x")
+        assert a.merge_from(b) == 0
+        assert a.get("h1").peak_c == 61.5
+
+    def test_canonical_bytes_ignores_insertion_order(self, tmp_path):
+        fwd = ResultStore(tmp_path / "f.sqlite")
+        rev = ResultStore(tmp_path / "r.sqlite")
+        rows = [("h1", "x"), ("h2", "x"), ("h1", "y")]
+        _put_rows(fwd, rows)
+        _put_rows(rev, list(reversed(rows)))
+        assert fwd.canonical_bytes() == rev.canonical_bytes()
+        assert fwd.canonical_bytes(campaign="y") \
+            == rev.canonical_bytes(campaign="y")
+        assert fwd.canonical_bytes(campaign="x") \
+            != fwd.canonical_bytes(campaign="y")
+
+
+class TestMergeFromProperties:
+    """Hypothesis: any interleaving of duplicated, shuffled partial
+    merges converges to the serial store's canonical image."""
+
+    KEYS = [(f"h{i}", campaign) for i in range(4)
+            for campaign in ("a", "b")]
+
+    @staticmethod
+    def _strategy():
+        from hypothesis import strategies as st
+        keys = st.sampled_from(TestMergeFromProperties.KEYS)
+        # Several worker stores, each holding an arbitrary multiset of
+        # rows (duplication across workers is the retry case).
+        return st.lists(st.lists(keys, max_size=8), min_size=1,
+                        max_size=4)
+
+    def test_shuffled_duplicated_merges_converge(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=40, deadline=None)
+        @given(partitions=self._strategy(), data=st.data())
+        def run(partitions, data):
+            expected = ResultStore()
+            _put_rows(expected, sorted(
+                {row for part in partitions for row in part}))
+            workers = []
+            for part in partitions:
+                store = ResultStore()
+                _put_rows(store, part)
+                workers.append(store)
+            order = data.draw(st.permutations(range(len(workers))))
+            merged = ResultStore()
+            for index in order:
+                merged.merge_from(workers[index])
+                merged.merge_from(workers[index])   # duplicate merge
+            assert merged.canonical_bytes() \
+                == expected.canonical_bytes()
+            total = sum(len({row for row in part}) for part in [
+                {r for part in partitions for r in part}])
+            assert len(merged) == total
+
+        run()
+
+    def test_pairwise_merge_order_is_commutative(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        keys = st.sampled_from(self.KEYS)
+
+        @settings(max_examples=40, deadline=None)
+        @given(rows_a=st.lists(keys, max_size=6),
+               rows_b=st.lists(keys, max_size=6))
+        def run(rows_a, rows_b):
+            ab, ba = ResultStore(), ResultStore()
+            a1, b1 = ResultStore(), ResultStore()
+            _put_rows(a1, rows_a)
+            _put_rows(b1, rows_b)
+            _put_rows(ab, rows_a)
+            ab.merge_from(b1)
+            _put_rows(ba, rows_b)
+            ba.merge_from(a1)
+            assert ab.canonical_bytes() == ba.canonical_bytes()
+
+        run()

@@ -434,3 +434,101 @@ class TestBaselineCommands:
         assert main(["baseline", "record", "bogus-campaign",
                      "--baseline-dir", str(tmp_path)]) == 2
         assert "unknown campaign" in capsys.readouterr().err
+
+
+class TestFabricCommands:
+    """``repro worker`` and ``repro queue status/retry/drain``."""
+
+    def _seed_queue(self, tmp_path, retries=2):
+        from repro.campaign import CampaignQueue, sweep
+        from repro.experiments.config import ExperimentConfig
+        configs = sweep(ExperimentConfig(warmup_s=0.2, measure_s=0.5),
+                        policy=("energy", "migra"))
+        queue = CampaignQueue(tmp_path / "queue", retries=retries,
+                              backoff_s=0.0)
+        queue.enqueue(configs, campaign="cli")
+        return queue, configs
+
+    # -- argument handling -------------------------------------------
+    def test_worker_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_queue_requires_subcommand_and_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue", "status"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["queue", "bogus", "--queue", "q"])
+
+    def test_worker_rejects_the_distributed_backend(self):
+        # A worker *implements* the distributed backend; leasing a
+        # batch back into it would recurse.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["worker", "--queue", "q", "--backend", "distributed"])
+
+    # -- missing/corrupt queues --------------------------------------
+    def test_missing_queue_dir_is_exit_2(self, capsys, tmp_path):
+        for argv in (["worker", "--queue", str(tmp_path / "nope")],
+                     ["queue", "status", "--queue",
+                      str(tmp_path / "nope")]):
+            assert main(argv) == 2
+            assert "no campaign queue" in capsys.readouterr().err
+
+    def test_corrupt_queue_file_is_exit_2(self, capsys, tmp_path):
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        (queue_dir / "queue.sqlite").write_text("not a database")
+        for argv in (["worker", "--queue", str(queue_dir)],
+                     ["queue", "status", "--queue", str(queue_dir)]):
+            assert main(argv) == 2
+            assert "not a campaign queue" in capsys.readouterr().err
+
+    # -- the worker loop ---------------------------------------------
+    def test_worker_drains_a_queue(self, capsys, tmp_path):
+        queue, configs = self._seed_queue(tmp_path)
+        queue.close()
+        assert main(["worker", "--queue",
+                     str(tmp_path / "queue")]) == 0
+        out = capsys.readouterr().out
+        assert f"worker finished: {len(configs)} task(s) completed" \
+            in out
+        assert main(["queue", "status", "--queue",
+                     str(tmp_path / "queue")]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_worker_on_a_finished_queue_is_a_noop(self, capsys,
+                                                  tmp_path):
+        queue, _ = self._seed_queue(tmp_path)
+        queue.drain()
+        queue.close()
+        assert main(["worker", "--queue",
+                     str(tmp_path / "queue")]) == 0
+        assert "worker finished: 0 task(s) completed" \
+            in capsys.readouterr().out
+
+    # -- queue management --------------------------------------------
+    def test_status_reports_failures_with_exit_1(self, capsys,
+                                                 tmp_path):
+        queue, configs = self._seed_queue(tmp_path, retries=0)
+        for task in queue.lease("w0"):
+            queue.fail(task.config_hash, "w0", "ValueError('boom')")
+        queue.close()
+        argv = ["queue", "status", "--queue", str(tmp_path / "queue")]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out and "boom" in out
+
+        assert main(["queue", "retry", "--queue",
+                     str(tmp_path / "queue")]) == 0
+        assert f"{len(configs)} failed task(s) re-enqueued" \
+            in capsys.readouterr().out
+        assert main(argv) == 0          # nothing failed any more
+        capsys.readouterr()
+
+        assert main(["queue", "drain", "--queue",
+                     str(tmp_path / "queue")]) == 0
+        assert f"{len(configs)} task(s) removed" \
+            in capsys.readouterr().out
