@@ -74,6 +74,7 @@ from repro.campaign.fabric import (
     Coordinator,
     FabricError,
     QueueError,
+    QueueStatus,
     run_worker,
 )
 from repro.campaign.builder import SystemBuilder, SystemUnderTest
@@ -98,6 +99,7 @@ from repro.campaign.spec import (
     sweep,
 )
 from repro.campaign.store import (
+    BufferedWriter,
     DiffRow,
     ResultStore,
     StoreDiff,
@@ -106,6 +108,7 @@ from repro.campaign.store import (
 )
 
 __all__ = [
+    "BufferedWriter",
     "CampaignQueue",
     "CampaignResult",
     "CampaignRun",
@@ -116,6 +119,7 @@ __all__ = [
     "ExecutionContext",
     "FabricError",
     "QueueError",
+    "QueueStatus",
     "GoldenBaseline",
     "GoldenError",
     "RegressionReport",

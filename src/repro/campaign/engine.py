@@ -181,6 +181,12 @@ class CampaignRunner:
         reports: Dict[str, RunReport] = {}
         hits = set()
         missing: List[Tuple[str, ExperimentConfig]] = []
+        # One membership probe for the whole sweep instead of a
+        # has(key, name) query per cache hit.
+        registered = (self.store.campaign_hashes(name)
+                      if self.store is not None else set())
+        hit_writer = (self.store.buffered(campaign=name)
+                      if self.store is not None else None)
         for key, config in unique.items():
             report = self._cached(key)
             if report is not None:
@@ -192,12 +198,12 @@ class CampaignRunner:
                 # queryable as itself in the store.  Existing rows are
                 # left alone — re-running a fully cached campaign must
                 # not rewrite (and re-fsync) every row.
-                if self.store is not None and \
-                        not self.store.has(key, name):
-                    self.store.put(key, config.to_dict(), report,
-                                   campaign=name)
+                if hit_writer is not None and key not in registered:
+                    hit_writer.put(key, config.to_dict(), report)
             else:
                 missing.append((key, config))
+        if hit_writer is not None:
+            hit_writer.flush()
 
         # Backends with durable state (the distributed fabric) take an
         # execution context — campaign name plus cache_dir, the home
@@ -211,9 +217,17 @@ class CampaignRunner:
             fresh = execute_in_context(to_run, n_workers, context)
         else:
             fresh = engine.execute(to_run, n_workers)
+        # Collect path: buffer the fresh rows and journal them in one
+        # put_many transaction per campaign, not one commit per run.
+        collect_writer = (self.store.buffered(campaign=name)
+                          if self.store is not None else None)
         for (key, config), report in zip(missing, fresh):
             reports[key] = report
-            self._store(key, config, report, campaign=name)
+            self._memory[key] = report
+            if collect_writer is not None:
+                collect_writer.put(key, config.to_dict(), report)
+        if collect_writer is not None:
+            collect_writer.flush()
 
         runs = [CampaignRun(config=config,
                             report=reports[config.config_hash()],

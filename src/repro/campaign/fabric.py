@@ -11,7 +11,15 @@ resume without recomputation:
   timeout, so work held by a SIGKILLed worker returns to ``pending``
   automatically.  Every state change is one committed SQLite
   transaction — a crash between any two writes rolls back cleanly on
-  the next open.
+  the next open.  The hot paths are set-at-a-time for fleet-scale
+  campaigns: :meth:`CampaignQueue.enqueue` journals a whole submission
+  with one ``executemany`` plus one set-based torn-row repair pass,
+  leasing walks pending work through a ``(state, not_before)``
+  composite index with a keyset cursor over damaged rows, and both
+  databases run in WAL journal mode — safe here because every
+  transition is guarded by the lease protocol, not by rollback-journal
+  exclusivity (throughput in ``BENCH_fleet.json``, written by
+  ``benchmarks/test_fleet_scale.py``).
 * :func:`run_worker` — the worker loop (``repro worker --queue DIR``):
   lease a batch of configs sharing a
   :func:`~repro.campaign.backends.lockstep_group_key`, run them
@@ -123,6 +131,21 @@ class QueueTask:
     attempts: int
 
 
+@dataclass
+class QueueStatus:
+    """One :meth:`CampaignQueue.status` snapshot."""
+
+    #: Task counts per state (every state present, possibly 0).
+    counts: Dict[str, int]
+    #: Seconds since the oldest still-pending task was enqueued
+    #: (``None`` when nothing is pending).
+    pending_backlog_age_s: Optional[float]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
 class CampaignQueue:
     """Durable SQLite journal of a campaign's pending configurations.
 
@@ -161,6 +184,14 @@ class CampaignQueue:
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA busy_timeout = 10000")
         try:
+            # WAL lets status/lease readers proceed while a worker
+            # commits, and it is safe for the queue's semantics: every
+            # transition is an atomic guarded UPDATE (the lease
+            # protocol arbitrates races), so nothing relies on
+            # rollback-journal exclusivity.  NORMAL syncs survive any
+            # process crash — the altitude the fault suite kills at.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
             self._create_schema()
             self.lease_timeout_s = self._resolve_setting(
                 "lease_timeout_s", lease_timeout_s,
@@ -207,10 +238,24 @@ class CampaignQueue:
             "lease_id TEXT, "
             "lease_expires REAL, "
             "not_before REAL NOT NULL DEFAULT 0, "
+            "enqueued_at REAL NOT NULL DEFAULT 0, "
             "last_error TEXT)")
+        # Forward migration for queues journaled before enqueued_at.
+        existing = {row[1] for row in
+                    self._conn.execute("PRAGMA table_info(tasks)")}
+        if "enqueued_at" not in existing:
+            self._conn.execute(
+                "ALTER TABLE tasks ADD COLUMN "
+                "enqueued_at REAL NOT NULL DEFAULT 0")
+        # The composite index serves every hot query: leasing probes
+        # (state, not_before) ranges, reclaim scans state = 'leased',
+        # and status GROUP BYs over the state prefix — all without a
+        # full-table scan on a 10^5-row queue.  It supersedes the old
+        # single-column state index.
         self._conn.execute(
-            "CREATE INDEX IF NOT EXISTS idx_tasks_state "
-            "ON tasks (state)")
+            "CREATE INDEX IF NOT EXISTS idx_tasks_ready "
+            "ON tasks (state, not_before)")
+        self._conn.execute("DROP INDEX IF EXISTS idx_tasks_state")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS faults (name TEXT PRIMARY KEY)")
         self._conn.execute(
@@ -231,7 +276,8 @@ class CampaignQueue:
     # submission
     # ------------------------------------------------------------------
     def enqueue(self, configs: Iterable["ExperimentConfig"],
-                campaign: str = "adhoc") -> int:
+                campaign: str = "adhoc",
+                now: Optional[float] = None) -> int:
         """Journal configurations as pending tasks (idempotent).
 
         Resubmitting a campaign is always safe: tasks already
@@ -239,8 +285,89 @@ class CampaignQueue:
         leases are untouched), while rows damaged by a torn write are
         repaired from the authoritative config being enqueued.
         Returns the number of rows added or repaired.
+
+        The whole submission is one transaction of three set-at-a-time
+        statements — a chunked membership probe over the submitted
+        hashes, one optimistic ``executemany`` insert, and one
+        ``executemany`` repair pass over the damaged subset — instead
+        of a statement (plus a conflict probe) per config.  The
+        journal image is byte-identical to the per-row reference
+        (:meth:`_enqueue_per_row`, kept for parity tests and as the
+        benchmark baseline).
+        """
+        rows = self._task_rows(configs, campaign, now)
+        if not rows:
+            return 0
+        # Which submitted keys already hold a journal row, and which
+        # of those are damaged (marked torn, or unparseable after a
+        # torn write)?  One chunked probe, run before the optimistic
+        # insert so only genuinely pre-existing rows are inspected.
+        damaged: Dict[str, Tuple] = {}
+        by_key = {row[0]: row for row in rows}
+        for chunk in _chunked(list(by_key), 500):
+            marks = ", ".join("?" for _ in chunk)
+            for found in self._conn.execute(
+                    f"SELECT config_hash, state, config FROM tasks "
+                    f"WHERE config_hash IN ({marks})", chunk):
+                if found["state"] == "torn" or \
+                        _parse_config(found["config"]) is None:
+                    damaged[found["config_hash"]] = \
+                        by_key[found["config_hash"]]
+        cursor = self._conn.executemany(
+            "INSERT OR IGNORE INTO tasks "
+            "(config_hash, campaign, config, group_key, enqueued_at) "
+            "VALUES (?, ?, ?, ?, ?)", rows)
+        new = max(0, cursor.rowcount)
+        if damaged:
+            # Torn write repair: overwrite the damaged rows with fresh
+            # pending tasks built from the authoritative submitted
+            # configs — one set-based pass.
+            self._conn.executemany(
+                "UPDATE tasks SET campaign = ?, config = ?, "
+                "group_key = ?, state = 'pending', attempts = 0, "
+                "lease_id = NULL, lease_expires = NULL, "
+                "not_before = 0, last_error = NULL, enqueued_at = ? "
+                "WHERE config_hash = ?",
+                [(row[1], row[2], row[3], row[4], key)
+                 for key, row in damaged.items()])
+            new += len(damaged)
+        self._conn.commit()
+        return new
+
+    def _task_rows(self, configs: Iterable["ExperimentConfig"],
+                   campaign: str, now: Optional[float]) -> List[Tuple]:
+        """Serialized task rows for one submission (deduplicated).
+
+        Each row is ``(config_hash, campaign, config_json, group_key,
+        enqueued_at)``; duplicate hashes within one submission collapse
+        to their first occurrence, exactly as the per-row path's
+        INSERT OR IGNORE treats them.
         """
         from repro.campaign.backends import lockstep_group_key
+        now = time.time() if now is None else now
+        rows: List[Tuple] = []
+        seen = set()
+        for config in configs:
+            key = config.config_hash()
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append((key, campaign,
+                         json.dumps(config.to_dict(), sort_keys=True),
+                         json.dumps(lockstep_group_key(config)), now))
+        return rows
+
+    def _enqueue_per_row(self, configs: Iterable["ExperimentConfig"],
+                         campaign: str = "adhoc",
+                         now: Optional[float] = None) -> int:
+        """Per-row reference enqueue (one statement per config).
+
+        The pre-batching implementation, kept verbatim as the parity
+        oracle (``tests/test_fleet_io.py`` asserts byte-identical
+        journal images) and as the ``BENCH_fleet.json`` baseline.
+        """
+        from repro.campaign.backends import lockstep_group_key
+        now = time.time() if now is None else now
         new = 0
         for config in configs:
             key = config.config_hash()
@@ -248,8 +375,9 @@ class CampaignQueue:
             payload = json.dumps(config.to_dict(), sort_keys=True)
             cursor = self._conn.execute(
                 "INSERT OR IGNORE INTO tasks "
-                "(config_hash, campaign, config, group_key) "
-                "VALUES (?, ?, ?, ?)", (key, campaign, payload, group))
+                "(config_hash, campaign, config, group_key, "
+                "enqueued_at) VALUES (?, ?, ?, ?, ?)",
+                (key, campaign, payload, group, now))
             if cursor.rowcount:
                 new += 1
                 continue
@@ -264,9 +392,9 @@ class CampaignQueue:
                     "UPDATE tasks SET campaign = ?, config = ?, "
                     "group_key = ?, state = 'pending', attempts = 0, "
                     "lease_id = NULL, lease_expires = NULL, "
-                    "not_before = 0, last_error = NULL "
-                    "WHERE config_hash = ?",
-                    (campaign, payload, group, key))
+                    "not_before = 0, last_error = NULL, "
+                    "enqueued_at = ? WHERE config_hash = ?",
+                    (campaign, payload, group, now, key))
                 new += 1
         self._conn.commit()
         return new
@@ -288,13 +416,20 @@ class CampaignQueue:
         now = time.time() if now is None else now
         self.reclaim_expired(now)
         group = None
+        last_rowid = -1
         while group is None:
+            # Keyset cursor: damaged rows advance the scan past the
+            # row just quarantined instead of re-issuing the full
+            # ORDER BY rowid walk from the top — a queue with many
+            # torn rows stays O(damaged), not O(damaged^2).
             row = self._conn.execute(
-                "SELECT config_hash, config, group_key FROM tasks "
-                "WHERE state = 'pending' AND not_before <= ? "
-                "ORDER BY rowid LIMIT 1", (now,)).fetchone()
+                "SELECT rowid, config_hash, config, group_key "
+                "FROM tasks WHERE state = 'pending' AND "
+                "not_before <= ? AND rowid > ? "
+                "ORDER BY rowid LIMIT 1", (now, last_rowid)).fetchone()
             if row is None:
                 return []
+            last_rowid = row["rowid"]
             if _parse_config(row["config"]) is None:
                 self._mark_torn(row["config_hash"])
                 continue
@@ -347,28 +482,27 @@ class CampaignQueue:
         to ``failed`` instead.
         """
         now = time.time() if now is None else now
-        rows = self._conn.execute(
-            "SELECT config_hash, attempts FROM tasks "
+        # Two set-based passes over the expired subset (found via the
+        # (state, not_before) index's state prefix): retries-exhausted
+        # leases park in 'failed', the rest return to 'pending' with
+        # their linear backoff computed in SQL.
+        exhausted = self._conn.execute(
+            "UPDATE tasks SET state = 'failed', lease_id = NULL, "
+            "last_error = 'lease expired with retries exhausted' "
+            "WHERE state = 'leased' AND lease_expires < ? AND "
+            "attempts >= ?", (now, self.retries + 1))
+        reclaimed = self._conn.execute(
+            "UPDATE tasks SET state = 'pending', lease_id = NULL, "
+            "lease_expires = NULL, not_before = ? + ? * attempts "
             "WHERE state = 'leased' AND lease_expires < ?",
-            (now,)).fetchall()
-        for row in rows:
-            if row["attempts"] >= self.retries + 1:
-                self._conn.execute(
-                    "UPDATE tasks SET state = 'failed', lease_id = NULL, "
-                    "last_error = 'lease expired with retries "
-                    "exhausted' WHERE config_hash = ? AND "
-                    "state = 'leased'", (row["config_hash"],))
-            else:
-                self._conn.execute(
-                    "UPDATE tasks SET state = 'pending', "
-                    "lease_id = NULL, lease_expires = NULL, "
-                    "not_before = ? WHERE config_hash = ? AND "
-                    "state = 'leased'",
-                    (now + self.backoff_s * row["attempts"],
-                     row["config_hash"]))
-        if rows:
-            self._conn.commit()
-        return len(rows)
+            (now, self.backoff_s, now))
+        count = exhausted.rowcount + reclaimed.rowcount
+        # Commit unconditionally: even a zero-row UPDATE opens an
+        # implicit write transaction, and leaving it dangling would
+        # pin the WAL write lock across the caller's poll loop and
+        # starve every other worker into SQLITE_BUSY.
+        self._conn.commit()
+        return count
 
     # ------------------------------------------------------------------
     # task completion
@@ -382,6 +516,25 @@ class CampaignQueue:
             "state = 'leased'", (config_hash, worker_id))
         self._conn.commit()
         return bool(cursor.rowcount)
+
+    def complete_many(self, config_hashes: Iterable[str],
+                      worker_id: str) -> int:
+        """Mark a whole lease batch done in one transaction.
+
+        Each row keeps :meth:`complete`'s guard — only tasks still
+        leased by ``worker_id`` transition — so lost leases are
+        skipped, not clobbered.  Returns how many tasks were marked.
+        """
+        before = self._conn.total_changes
+        self._conn.executemany(
+            "UPDATE tasks SET state = 'done', lease_id = NULL, "
+            "lease_expires = NULL, last_error = NULL "
+            "WHERE config_hash = ? AND lease_id = ? AND "
+            "state = 'leased'",
+            [(config_hash, worker_id) for config_hash in config_hashes])
+        completed = self._conn.total_changes - before
+        self._conn.commit()
+        return completed
 
     def fail(self, config_hash: str, worker_id: str,
              error: str, now: Optional[float] = None) -> None:
@@ -412,12 +565,35 @@ class CampaignQueue:
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Task counts per state (every state present, possibly 0)."""
+        return self.status().counts
+
+    def status(self, now: Optional[float] = None) -> "QueueStatus":
+        """Per-state counts plus the pending backlog's age, one query.
+
+        A single ``GROUP BY state`` aggregation (served by the
+        ``(state, not_before)`` index prefix) yields every count and
+        the oldest pending submission timestamp together, so ``repro
+        queue status`` stays O(states) on a 10^5-row queue instead of
+        issuing a query per state.
+        """
+        now = time.time() if now is None else now
         out = {state: 0 for state in STATES}
+        oldest_pending = None
+        # Rows migrated from a pre-WAL journal carry enqueued_at = 0
+        # (unknown submission time); the CASE keeps them out of the
+        # backlog age instead of reporting a decades-old queue.
         for row in self._conn.execute(
-                "SELECT state, COUNT(*) AS n FROM tasks "
-                "GROUP BY state"):
+                "SELECT state, COUNT(*) AS n, "
+                "MIN(CASE WHEN enqueued_at > 0 THEN enqueued_at END) "
+                "AS oldest FROM tasks GROUP BY state"):
             out[row["state"]] = int(row["n"])
-        return out
+            if row["state"] == "pending" and row["oldest"]:
+                oldest_pending = float(row["oldest"])
+        backlog_age = None
+        if oldest_pending is not None:
+            backlog_age = max(0.0, now - oldest_pending)
+        return QueueStatus(counts=out,
+                           pending_backlog_age_s=backlog_age)
 
     def finished(self) -> bool:
         """True when no task is pending or leased (all terminal)."""
@@ -477,6 +653,12 @@ def _parse_config(payload: str) -> Optional[Dict]:
     return config if isinstance(config, dict) else None
 
 
+def _chunked(items: List, size: int) -> Iterable[List]:
+    """Successive slices of at most ``size`` items (IN-list safe)."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
 # ----------------------------------------------------------------------
 # worker loop
 # ----------------------------------------------------------------------
@@ -499,6 +681,15 @@ def run_worker(queue_dir, worker_id: Optional[str] = None,
     marked done; the coordinator's idempotent merge absorbs the
     duplicate row a crash between the two writes produces.  Returns
     the number of tasks completed.
+
+    Store and queue writes are batched per lease: the whole batch's
+    rows flush through one :class:`~repro.campaign.store.BufferedWriter`
+    transaction, then one :meth:`CampaignQueue.complete_many` marks
+    the batch done — same write ordering, two commits per lease
+    instead of two per task.  With a ``fault_hook`` (or an armed
+    ``REPRO_FABRIC_KILL_AFTER``) the loop drops to the per-task
+    reference path, whose write boundaries are exactly the crash
+    points the fault suite injects at.
     """
     from repro.campaign.backends import make_backend
     from repro.experiments.config import ExperimentConfig
@@ -544,21 +735,36 @@ def run_worker(queue_dir, worker_id: Optional[str] = None,
                 for task, _ in parsed:
                     queue.fail(task.config_hash, worker_id, repr(error))
                 continue
-            for (task, config), report in zip(parsed, reports):
-                if fault_hook is not None:
-                    fault_hook("computed", task)
-                store.put(task.config_hash, config.to_dict(), report,
-                          campaign=task.campaign)
-                stored += 1
-                if fault_hook is not None:
-                    fault_hook("stored", task)
-                if kill_after and stored >= kill_after and \
-                        queue.claim_fault(f"kill-after-{kill_after}"):
-                    os.kill(os.getpid(), signal.SIGKILL)
-                if queue.complete(task.config_hash, worker_id):
-                    completed += 1
-                if fault_hook is not None:
-                    fault_hook("done", task)
+            if fault_hook is None and not kill_after:
+                # Fast path: flush the whole batch's rows in one
+                # store transaction, then complete the batch in one
+                # queue transaction — rows still land strictly before
+                # any task is marked done, so a SIGKILL between the
+                # two commits re-runs tasks whose duplicate rows the
+                # idempotent merge absorbs, exactly as per-task.
+                with store.buffered() as writer:
+                    for (task, config), report in zip(parsed, reports):
+                        writer.put(task.config_hash, config.to_dict(),
+                                   report, campaign=task.campaign)
+                        stored += 1
+                completed += queue.complete_many(
+                    [task.config_hash for task, _ in parsed], worker_id)
+            else:
+                for (task, config), report in zip(parsed, reports):
+                    if fault_hook is not None:
+                        fault_hook("computed", task)
+                    store.put(task.config_hash, config.to_dict(),
+                              report, campaign=task.campaign)
+                    stored += 1
+                    if fault_hook is not None:
+                        fault_hook("stored", task)
+                    if kill_after and stored >= kill_after and \
+                            queue.claim_fault(f"kill-after-{kill_after}"):
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if queue.complete(task.config_hash, worker_id):
+                        completed += 1
+                    if fault_hook is not None:
+                        fault_hook("done", task)
             batches += 1
             if max_batches is not None and batches >= max_batches:
                 break

@@ -22,6 +22,20 @@ re-running or re-aggregating anything:
   campaign)`` so duplication, partial writes and merge order cannot
   change the outcome.
 
+The write paths are set-at-a-time: :meth:`ResultStore.put_many`
+journals any number of rows in one ``executemany`` transaction (with
+:meth:`ResultStore.put` kept as the one-row case),
+:meth:`ResultStore.buffered` wraps that in a :class:`BufferedWriter`
+for producers that stream rows one at a time, and
+:meth:`ResultStore.merge_from` imports a whole sibling store through
+one ``ATTACH DATABASE`` + ``INSERT OR IGNORE … SELECT`` statement
+(falling back to a per-row loop for cross-schema stores).  File-backed
+stores run in WAL journal mode, so a merge can read a worker store
+that is still being written.  Every batched path is proven equal to
+its per-row twin via :meth:`canonical_bytes` (see
+``tests/test_fleet_io.py``), and ``benchmarks/test_fleet_scale.py``
+records the throughput of both in ``BENCH_fleet.json``.
+
 The schema is derived from the flat record, so adding a metric to
 :class:`~repro.metrics.report.RunReport` extends the store
 automatically (existing databases are migrated by ``ALTER TABLE`` on
@@ -105,6 +119,14 @@ class ResultStore:
         self._conn.row_factory = sqlite3.Row
         self._columns = [name for name, _ in _record_schema()]
         try:
+            if self.path != ":memory:":
+                # WAL keeps readers (merges, status queries) off the
+                # writers' locks and makes one-transaction batches
+                # cheap; NORMAL is durable against process crashes —
+                # the only loss window is an OS/power failure, where a
+                # torn batch re-runs from the queue journal anyway.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             self._create_schema()
         except sqlite3.DatabaseError as error:
             self._conn.close()
@@ -150,18 +172,41 @@ class ResultStore:
     # ------------------------------------------------------------------
     def put(self, config_hash: str, config: Dict, report: RunReport,
             campaign: str = "adhoc") -> None:
-        """Insert (or replace) one run row."""
-        record = report.to_record()
+        """Insert (or replace) one run row (one-row :meth:`put_many`)."""
+        self.put_many([(config_hash, config, report)], campaign=campaign)
+
+    def put_many(self, rows: Iterable[Tuple[str, Dict, RunReport]],
+                 campaign: str = "adhoc") -> int:
+        """Insert (or replace) run rows in one transaction.
+
+        ``rows`` is an iterable of ``(config_hash, config, report)``
+        triples, journaled by a single ``executemany`` and one commit —
+        the set-at-a-time twin of :meth:`put`, byte-identical to a
+        per-row loop (parity-tested via :meth:`canonical_bytes`) but
+        without a commit per row.  Returns the number of rows written.
+        """
+        values = []
+        for config_hash, config, report in rows:
+            record = report.to_record()
+            values.append([config_hash, campaign,
+                           json.dumps(config, sort_keys=True)]
+                          + [record[name] for name in self._columns])
+        if not values:
+            return 0
         columns = ["config_hash", "campaign", "config"] + self._columns
-        values = [config_hash, campaign,
-                  json.dumps(config, sort_keys=True)]
-        values += [record[name] for name in self._columns]
         placeholders = ", ".join("?" for _ in columns)
         quoted = ", ".join(f'"{c}"' for c in columns)
-        self._conn.execute(
+        self._conn.executemany(
             f"INSERT OR REPLACE INTO runs ({quoted}) "
             f"VALUES ({placeholders})", values)
         self._conn.commit()
+        return len(values)
+
+    def buffered(self, campaign: str = "adhoc",
+                 flush_every: int = 512) -> "BufferedWriter":
+        """A :class:`BufferedWriter` accumulating rows for this store."""
+        return BufferedWriter(self, campaign=campaign,
+                              flush_every=flush_every)
 
     # ------------------------------------------------------------------
     # reads
@@ -203,6 +248,17 @@ class ResultStore:
             "SELECT 1 FROM runs WHERE campaign = ? LIMIT 1",
             (campaign,)).fetchone()
         return row is not None
+
+    def campaign_hashes(self, campaign: str) -> set:
+        """All config hashes stored under ``campaign`` (one query).
+
+        The campaign engine uses this to register a sweep's cache hits
+        with one membership probe instead of a ``has`` query per row.
+        """
+        rows = self._conn.execute(
+            "SELECT config_hash FROM runs WHERE campaign = ?",
+            (campaign,)).fetchall()
+        return {row[0] for row in rows}
 
     def runs(self, campaign: Optional[str] = None,
              where: Optional[str] = None,
@@ -294,7 +350,8 @@ class ResultStore:
     # ------------------------------------------------------------------
     # merging (the distributed-campaign import path)
     # ------------------------------------------------------------------
-    def merge_from(self, other: "ResultStore") -> int:
+    def merge_from(self, other: "ResultStore",
+                   mode: str = "auto") -> int:
         """Import rows from another store, exactly once per key.
 
         Keyed by ``(config_hash, campaign)`` with *insert-if-absent*
@@ -306,7 +363,63 @@ class ResultStore:
         :meth:`canonical_bytes` image (property-tested in
         ``tests/test_campaign_store.py``).  Merging a store into
         itself is a no-op.  Returns the number of rows imported.
+
+        ``mode`` selects the implementation — both produce the same
+        :meth:`canonical_bytes` image (parity-tested):
+
+        * ``"auto"`` (default) — one ``ATTACH DATABASE`` + ``INSERT OR
+          IGNORE … SELECT`` statement, the streaming set-at-a-time
+          path (>10x the row loop at 10⁴ rows, see
+          ``BENCH_fleet.json``); falls back to the row loop when the
+          source is in-memory, is this very store, or carries a
+          different column set (a store written by another repo
+          version).
+        * ``"rows"`` — the per-row reference loop, kept as the
+          cross-schema fallback and the benchmark baseline.
         """
+        if mode not in ("auto", "rows"):
+            raise ValueError(f"unknown merge mode {mode!r}; "
+                             f"expected 'auto' or 'rows'")
+        if mode == "auto" and self._attach_compatible(other):
+            return self._merge_attach(other)
+        return self._merge_rows(other)
+
+    def _attach_compatible(self, other: "ResultStore") -> bool:
+        """True when the streaming ATTACH merge applies to ``other``."""
+        if self.path == ":memory:" or other.path == ":memory:":
+            return False                       # nothing to attach
+        if Path(self.path).resolve() == Path(other.path).resolve():
+            return False                       # self-merge: no-op loop
+        ours = {row[1] for row in
+                self._conn.execute("PRAGMA table_info(runs)")}
+        theirs = {row[1] for row in
+                  other._conn.execute("PRAGMA table_info(runs)")}
+        return ours == theirs
+
+    def _merge_attach(self, other: "ResultStore") -> int:
+        """Streaming merge: one INSERT … SELECT across an ATTACH."""
+        columns = ["config_hash", "campaign", "config"] + self._columns
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        other._conn.commit()      # the attach reads committed state
+        self._conn.commit()       # ATTACH must run outside a txn
+        self._conn.execute("ATTACH DATABASE ? AS merge_src",
+                           (other.path,))
+        try:
+            before = self._conn.total_changes
+            self._conn.execute(
+                f"INSERT OR IGNORE INTO runs ({quoted}) "
+                f"SELECT {quoted} FROM merge_src.runs")
+            imported = self._conn.total_changes - before
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+        finally:
+            self._conn.execute("DETACH DATABASE merge_src")
+        return imported
+
+    def _merge_rows(self, other: "ResultStore") -> int:
+        """Per-row reference merge (cross-schema tolerant)."""
         rows = other._conn.execute("SELECT * FROM runs").fetchall()
         imported = 0
         for row in rows:
@@ -390,6 +503,60 @@ class ResultStore:
             self.put(config_hash, config, report, campaign=campaign)
             imported += 1
         return imported, skipped
+
+
+class BufferedWriter:
+    """Accumulates ``put`` calls and flushes them set-at-a-time.
+
+    Producers that receive rows one at a time (the campaign engine's
+    collect loop, a fabric worker draining a lease) write through this
+    instead of committing per row: rows buffer in memory, grouped by
+    campaign, and each :meth:`flush` is one
+    :meth:`ResultStore.put_many` transaction per campaign.  Used as a
+    context manager it flushes on exit; an exception mid-batch leaves
+    the store exactly at the last flush boundary — the same crash
+    surface a per-row writer has at its last commit.
+    """
+
+    def __init__(self, store: ResultStore, campaign: str = "adhoc",
+                 flush_every: int = 512):
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        self.store = store
+        self.campaign = campaign
+        self.flush_every = int(flush_every)
+        self._pending: Dict[str, List[Tuple[str, Dict, RunReport]]] = {}
+        self._buffered = 0
+
+    @property
+    def pending(self) -> int:
+        """Rows buffered but not yet written to the store."""
+        return self._buffered
+
+    def put(self, config_hash: str, config: Dict, report: RunReport,
+            campaign: Optional[str] = None) -> None:
+        """Buffer one row (flushes once ``flush_every`` accumulate)."""
+        key = self.campaign if campaign is None else campaign
+        self._pending.setdefault(key, []).append(
+            (config_hash, config, report))
+        self._buffered += 1
+        if self._buffered >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write every buffered row (one transaction per campaign)."""
+        written = 0
+        for campaign, rows in self._pending.items():
+            written += self.store.put_many(rows, campaign=campaign)
+        self._pending.clear()
+        self._buffered = 0
+        return written
+
+    def __enter__(self) -> "BufferedWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.flush()
 
 
 def _numeric_columns() -> List[str]:

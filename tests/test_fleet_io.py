@@ -1,0 +1,509 @@
+"""Parity and property tests for the fleet-scale store/queue I/O.
+
+PR 10 rebuilt the persistence hot paths around set-at-a-time SQL:
+``ResultStore.put_many`` / ``BufferedWriter``, the ``ATTACH``-based
+``merge_from``, the batched ``CampaignQueue.enqueue`` with its
+set-based torn-row repair, keyset-cursor leasing and the one-pass
+``status`` aggregation — all under WAL journal mode.  Every batched
+path must be *observably identical* to its per-row twin: identical
+``canonical_bytes`` for the store, identical journal images for the
+queue.  These tests pin that equivalence, plus a Hypothesis property
+that batched enqueue stays idempotent under resubmission with
+interleaved torn rows.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import sweep
+from repro.campaign.fabric import CampaignQueue, run_worker
+from repro.campaign.store import BufferedWriter, ResultStore
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.report import RunReport
+
+
+def _report(seed: float) -> RunReport:
+    return RunReport(policy="migra", package="mobile",
+                     threshold_c=2.0 + seed, duration_s=25.0,
+                     peak_c=60.0 + seed)
+
+
+def _rows(n: int):
+    return [(f"hash-{i:04d}", {"threshold_c": float(i)}, _report(i))
+            for i in range(n)]
+
+
+def _configs(n: int = 6):
+    base = ExperimentConfig(warmup_s=0.5, measure_s=1.0)
+    return sweep(base, threshold_c=tuple(2.0 + 0.5 * i
+                                         for i in range(n)))
+
+
+#: Journal columns that define a queue's logical image (rowid keeps
+#: insertion order observable; lease bookkeeping included so parity
+#: covers repaired rows too).
+_JOURNAL_COLUMNS = ("rowid", "config_hash", "campaign", "config",
+                    "group_key", "state", "attempts", "lease_id",
+                    "lease_expires", "not_before", "enqueued_at",
+                    "last_error")
+
+
+def journal_image(queue: CampaignQueue) -> bytes:
+    """A deterministic byte image of a queue's task journal."""
+    cols = ", ".join(_JOURNAL_COLUMNS)
+    rows = queue._conn.execute(
+        f"SELECT {cols} FROM tasks ORDER BY rowid").fetchall()
+    return json.dumps([list(row) for row in rows],
+                      sort_keys=True).encode()
+
+
+# ----------------------------------------------------------------------
+# store: put_many / BufferedWriter vs per-row put
+# ----------------------------------------------------------------------
+class TestPutMany:
+    def test_put_many_matches_per_row_puts(self, tmp_path):
+        rows = _rows(40)
+        batched = ResultStore(tmp_path / "batched.sqlite")
+        loop = ResultStore(tmp_path / "loop.sqlite")
+        assert batched.put_many(rows, campaign="fleet") == len(rows)
+        for config_hash, config, report in rows:
+            loop.put(config_hash, config, report, campaign="fleet")
+        assert batched.canonical_bytes() == loop.canonical_bytes()
+        batched.close()
+        loop.close()
+
+    def test_put_many_replaces_like_put(self):
+        store = ResultStore()
+        store.put_many(_rows(3), campaign="a")
+        updated = [("hash-0001", {"threshold_c": 1.0}, _report(99.0))]
+        store.put_many(updated, campaign="a")
+        assert store.get("hash-0001").peak_c == _report(99.0).peak_c
+        assert len(store) == 3
+        store.close()
+
+    def test_put_is_the_one_row_case(self):
+        a, b = ResultStore(), ResultStore()
+        key, config, report = _rows(1)[0]
+        a.put(key, config, report, campaign="x")
+        b.put_many([(key, config, report)], campaign="x")
+        assert a.canonical_bytes() == b.canonical_bytes()
+        a.close()
+        b.close()
+
+    def test_empty_put_many_is_a_noop(self):
+        store = ResultStore()
+        assert store.put_many([], campaign="x") == 0
+        assert len(store) == 0
+        store.close()
+
+
+class TestBufferedWriter:
+    def test_flushes_at_the_batch_boundary(self):
+        store = ResultStore()
+        writer = store.buffered(campaign="fleet", flush_every=4)
+        for config_hash, config, report in _rows(3):
+            writer.put(config_hash, config, report)
+        assert len(store) == 0 and writer.pending == 3
+        writer.put(*_rows(5)[4])             # 4th row: auto-flush
+        assert len(store) == 4 and writer.pending == 0
+        store.close()
+
+    def test_context_exit_flushes_the_tail(self):
+        store = ResultStore()
+        with store.buffered(campaign="fleet") as writer:
+            for config_hash, config, report in _rows(7):
+                writer.put(config_hash, config, report)
+        assert len(store) == 7
+        store.close()
+
+    def test_buffered_image_matches_per_row(self, tmp_path):
+        rows = _rows(20)
+        buffered = ResultStore(tmp_path / "buffered.sqlite")
+        loop = ResultStore(tmp_path / "loop.sqlite")
+        with buffered.buffered(campaign="a", flush_every=6) as writer:
+            for i, (config_hash, config, report) in enumerate(rows):
+                # Mixed campaigns through one writer.
+                writer.put(config_hash, config, report,
+                           campaign="b" if i % 3 else "a")
+        for i, (config_hash, config, report) in enumerate(rows):
+            loop.put(config_hash, config, report,
+                     campaign="b" if i % 3 else "a")
+        assert buffered.canonical_bytes() == loop.canonical_bytes()
+        buffered.close()
+        loop.close()
+
+    def test_rejects_a_nonpositive_batch(self):
+        store = ResultStore()
+        with pytest.raises(ValueError, match="flush_every"):
+            BufferedWriter(store, flush_every=0)
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# store: ATTACH merge vs row-loop merge
+# ----------------------------------------------------------------------
+class TestAttachMerge:
+    def _source(self, path, n=25) -> ResultStore:
+        store = ResultStore(path)
+        store.put_many(_rows(n), campaign="fleet")
+        return store
+
+    def test_attach_and_rows_modes_agree(self, tmp_path):
+        src = self._source(tmp_path / "src.sqlite")
+        attach = ResultStore(tmp_path / "attach.sqlite")
+        loop = ResultStore(tmp_path / "loop.sqlite")
+        n_attach = attach.merge_from(src)            # auto -> ATTACH
+        n_loop = loop.merge_from(src, mode="rows")
+        assert n_attach == n_loop == 25
+        assert attach.canonical_bytes() == loop.canonical_bytes() \
+            == src.canonical_bytes()
+        for store in (src, attach, loop):
+            store.close()
+
+    def test_attach_merge_is_idempotent_and_partial(self, tmp_path):
+        src = self._source(tmp_path / "src.sqlite")
+        dst = ResultStore(tmp_path / "dst.sqlite")
+        dst.put_many(_rows(10), campaign="fleet")    # overlap
+        assert dst.merge_from(src) == 15             # only the new keys
+        assert dst.merge_from(src) == 0
+        assert dst.canonical_bytes() == src.canonical_bytes()
+        src.close()
+        dst.close()
+
+    def test_memory_stores_fall_back_to_rows(self, tmp_path):
+        src = ResultStore()                          # :memory:
+        src.put_many(_rows(5), campaign="fleet")
+        dst = ResultStore(tmp_path / "dst.sqlite")
+        assert not dst._attach_compatible(src)
+        assert dst.merge_from(src) == 5              # row loop, same API
+        assert dst.canonical_bytes() == src.canonical_bytes()
+        src.close()
+        dst.close()
+
+    def test_self_merge_stays_a_noop(self, tmp_path):
+        store = self._source(tmp_path / "solo.sqlite")
+        before = store.canonical_bytes()
+        assert store.merge_from(store) == 0
+        assert store.canonical_bytes() == before
+        store.close()
+
+    def test_cross_schema_source_falls_back_to_rows(self, tmp_path):
+        src = self._source(tmp_path / "src.sqlite", n=4)
+        # Simulate a store written by an older repo version: one
+        # metric column missing entirely.
+        src._conn.execute("ALTER TABLE runs DROP COLUMN peak_c")
+        src._conn.commit()
+        dst = ResultStore(tmp_path / "dst.sqlite")
+        assert not dst._attach_compatible(src)
+        assert dst.merge_from(src) == 4
+        assert dst.get("hash-0001") is not None
+        src.close()
+        dst.close()
+
+    def test_unknown_mode_is_an_error(self, tmp_path):
+        src = self._source(tmp_path / "src.sqlite", n=1)
+        with pytest.raises(ValueError, match="merge mode"):
+            src.merge_from(src, mode="bogus")
+        src.close()
+
+    def test_file_stores_run_in_wal_mode(self, tmp_path):
+        store = ResultStore(tmp_path / "wal.sqlite")
+        mode = store._conn.execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# queue: batched enqueue vs per-row reference
+# ----------------------------------------------------------------------
+class TestBatchedEnqueue:
+    def test_fresh_enqueue_images_match(self, tmp_path):
+        configs = _configs()
+        batched = CampaignQueue(tmp_path / "batched")
+        loop = CampaignQueue(tmp_path / "loop")
+        assert batched.enqueue(configs, campaign="fleet", now=100.0) \
+            == loop._enqueue_per_row(configs, campaign="fleet",
+                                     now=100.0) == len(configs)
+        assert journal_image(batched) == journal_image(loop)
+        batched.close()
+        loop.close()
+
+    def test_resubmission_images_match(self, tmp_path):
+        configs = _configs()
+        queues = [CampaignQueue(tmp_path / name)
+                  for name in ("batched", "loop")]
+        for queue in queues:
+            queue.enqueue(configs[:3], campaign="fleet", now=100.0)
+            # Interleave: lease one batch, tear one surviving row.
+            queue.lease("w0", limit=1, now=100.0)
+            self._tear(queue, configs[1].config_hash())
+        batched, loop = queues
+        assert batched.enqueue(configs, campaign="fleet",
+                               now=200.0) == 4         # 3 new + 1 repair
+        assert loop._enqueue_per_row(configs, campaign="fleet",
+                                     now=200.0) == 4
+        assert journal_image(batched) == journal_image(loop)
+        for queue in queues:
+            assert queue.counts()["torn"] == 0
+            queue.close()
+
+    def test_duplicate_configs_collapse_like_per_row(self, tmp_path):
+        configs = _configs(3)
+        batched = CampaignQueue(tmp_path / "batched")
+        loop = CampaignQueue(tmp_path / "loop")
+        doubled = configs + configs
+        assert batched.enqueue(doubled, campaign="x", now=1.0) == 3
+        assert loop._enqueue_per_row(doubled, campaign="x",
+                                     now=1.0) == 3
+        assert journal_image(batched) == journal_image(loop)
+        batched.close()
+        loop.close()
+
+    def test_enqueue_of_nothing_is_zero(self, tmp_path):
+        queue = CampaignQueue(tmp_path)
+        assert queue.enqueue([], campaign="fleet") == 0
+        queue.close()
+
+    def test_large_submission_crosses_the_chunk_limit(self, tmp_path):
+        # > 500 distinct hashes forces the chunked IN-list probe to
+        # split; resubmission must still repair nothing and add
+        # nothing.
+        base = ExperimentConfig(warmup_s=0.5, measure_s=1.0)
+        configs = sweep(base, threshold_c=tuple(
+            1.0 + 0.01 * i for i in range(600)))
+        queue = CampaignQueue(tmp_path)
+        assert queue.enqueue(configs, campaign="big") == 600
+        assert queue.enqueue(configs, campaign="big") == 0
+        assert queue.counts()["pending"] == 600
+        queue.close()
+
+    def test_queue_runs_in_wal_mode(self, tmp_path):
+        queue = CampaignQueue(tmp_path)
+        mode = queue._conn.execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        queue.close()
+
+    def _tear(self, queue: CampaignQueue, config_hash: str,
+              payload: str = '{"policy": "mig') -> None:
+        queue._conn.execute(
+            "UPDATE tasks SET config = ? WHERE config_hash = ?",
+            (payload, config_hash))
+        queue._conn.commit()
+
+
+class TestEnqueueIdempotenceProperty:
+    """Hypothesis: batched enqueue is idempotent under resubmission
+    with interleaved torn rows — any tear/resubmit interleaving
+    converges to the same journal the untouched queue holds."""
+
+    def test_resubmission_with_interleaved_tears_converges(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        configs = _configs(8)
+        n = len(configs)
+
+        @settings(max_examples=25, deadline=None)
+        @given(tears=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n - 1),
+                      st.sampled_from(["", "not json", "[1]",
+                                       '{"polic'])),
+            max_size=6),
+            resubmits=st.integers(min_value=1, max_value=3))
+        def check(tears, resubmits):
+            import tempfile
+            with tempfile.TemporaryDirectory() as tmp:
+                tmp = Path(tmp)
+                queue = CampaignQueue(tmp / "q")
+                reference = CampaignQueue(tmp / "ref")
+                queue.enqueue(configs, campaign="fleet", now=10.0)
+                reference.enqueue(configs, campaign="fleet", now=10.0)
+                for index, payload in tears:
+                    queue._conn.execute(
+                        "UPDATE tasks SET config = ? "
+                        "WHERE config_hash = ?",
+                        (payload, configs[index].config_hash()))
+                    queue._conn.commit()
+                    # Interleaved resubmission repairs the tear...
+                    assert queue.enqueue(configs, campaign="fleet",
+                                         now=10.0) == 1
+                for _ in range(resubmits):
+                    # ...and once healthy, resubmission is a no-op.
+                    assert queue.enqueue(configs, campaign="fleet",
+                                         now=10.0) == 0
+                assert journal_image(queue) == journal_image(reference)
+                assert queue.counts() == {"pending": n, "leased": 0,
+                                          "done": 0, "failed": 0,
+                                          "torn": 0}
+                queue.close()
+                reference.close()
+
+        check()
+
+
+# ----------------------------------------------------------------------
+# queue: keyset lease, complete_many, status
+# ----------------------------------------------------------------------
+class TestKeysetLease:
+    def test_many_torn_rows_are_skipped_in_one_pass(self, tmp_path):
+        configs = _configs(8)
+        queue = CampaignQueue(tmp_path, lease_timeout_s=10.0)
+        queue.enqueue(configs, campaign="fleet")
+        # Tear every row but the last: the keyset cursor must walk
+        # forward past each damaged row, never rescanning from the
+        # top, and still lease the healthy survivor.
+        for config in configs[:-1]:
+            queue._conn.execute(
+                "UPDATE tasks SET config = 'torn!' "
+                "WHERE config_hash = ?", (config.config_hash(),))
+        queue._conn.commit()
+        with pytest.warns(RuntimeWarning, match="torn write"):
+            tasks = queue.lease("w0")
+        assert [t.config_hash for t in tasks] \
+            == [configs[-1].config_hash()]
+        assert queue.counts()["torn"] == len(configs) - 1
+        queue.close()
+
+    def test_all_rows_torn_leases_nothing(self, tmp_path):
+        configs = _configs(3)
+        queue = CampaignQueue(tmp_path)
+        queue.enqueue(configs, campaign="fleet")
+        queue._conn.execute("UPDATE tasks SET config = 'torn!'")
+        queue._conn.commit()
+        with pytest.warns(RuntimeWarning, match="torn write"):
+            assert queue.lease("w0") == []
+        queue.close()
+
+
+class TestCompleteMany:
+    def test_batch_completion_matches_per_task(self, tmp_path):
+        configs = _configs()
+        queue = CampaignQueue(tmp_path, lease_timeout_s=60.0)
+        queue.enqueue(configs, campaign="fleet")
+        tasks = queue.lease("w0")
+        assert queue.complete_many(
+            [t.config_hash for t in tasks], "w0") == len(tasks)
+        assert queue.counts()["done"] == len(tasks)
+        queue.close()
+
+    def test_lost_leases_are_skipped_not_clobbered(self, tmp_path):
+        configs = _configs(2)
+        queue = CampaignQueue(tmp_path, lease_timeout_s=0.0,
+                              backoff_s=0.0)
+        queue.enqueue(configs, campaign="fleet")
+        import time
+        now = time.time()
+        stale = queue.lease("slow", now=now)
+        fresh = queue.lease("fast", now=now + 1.0)
+        assert queue.complete_many(
+            [t.config_hash for t in fresh], "fast") == len(fresh)
+        # The zombie's batch completion is a no-op row by row.
+        assert queue.complete_many(
+            [t.config_hash for t in stale], "slow") == 0
+        assert queue.counts()["done"] == len(configs)
+        queue.close()
+
+
+class TestQueueStatus:
+    def test_one_pass_counts_and_backlog_age(self, tmp_path):
+        configs = _configs(4)
+        queue = CampaignQueue(tmp_path, lease_timeout_s=60.0)
+        queue.enqueue(configs[:2], campaign="fleet", now=100.0)
+        queue.enqueue(configs, campaign="fleet", now=150.0)
+        leased = queue.lease("w0", limit=1, now=160.0)
+        assert len(leased) == 1
+        status = queue.status(now=175.0)
+        assert status.counts["pending"] == 3
+        assert status.counts["leased"] == 1
+        assert status.total == 4
+        # The oldest *pending* submission was at t=100 (the leased row
+        # does not count against the backlog).
+        assert status.pending_backlog_age_s == pytest.approx(
+            75.0, abs=1e-6)
+        queue.close()
+
+    def test_no_pending_means_no_backlog_age(self, tmp_path):
+        queue = CampaignQueue(tmp_path)
+        status = queue.status()
+        assert status.total == 0
+        assert status.pending_backlog_age_s is None
+        assert status.counts == {state: 0 for state in
+                                 ("pending", "leased", "done",
+                                  "failed", "torn")}
+        queue.close()
+
+    def test_counts_delegates_to_status(self, tmp_path):
+        configs = _configs(2)
+        queue = CampaignQueue(tmp_path)
+        queue.enqueue(configs, campaign="fleet")
+        assert queue.counts() == queue.status().counts
+        queue.close()
+
+    def test_legacy_queue_without_enqueued_at_migrates(self, tmp_path):
+        # A pre-PR-10 journal: build one without the column, then
+        # reopen through CampaignQueue (ALTER TABLE on open).
+        path = tmp_path / "queue.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute(
+            "CREATE TABLE tasks (config_hash TEXT PRIMARY KEY, "
+            "campaign TEXT NOT NULL, config TEXT NOT NULL, "
+            "group_key TEXT NOT NULL, "
+            "state TEXT NOT NULL DEFAULT 'pending', "
+            "attempts INTEGER NOT NULL DEFAULT 0, lease_id TEXT, "
+            "lease_expires REAL, not_before REAL NOT NULL DEFAULT 0, "
+            "last_error TEXT)")
+        conn.execute(
+            "INSERT INTO tasks (config_hash, campaign, config, "
+            "group_key) VALUES ('h1', 'old', '{}', '[]')")
+        conn.commit()
+        conn.close()
+        queue = CampaignQueue(tmp_path)
+        assert queue.counts()["pending"] == 1
+        # Migrated rows carry no submission time (enqueued_at = 0),
+        # so they must not masquerade as a decades-old backlog.
+        assert queue.status().pending_backlog_age_s is None
+        queue.close()
+
+
+# ----------------------------------------------------------------------
+# end to end: the batched worker path drains to the same bytes
+# ----------------------------------------------------------------------
+class TestBatchedWorkerDrain:
+    def test_batched_flush_matches_serial_reference(self, tmp_path):
+        from repro.campaign import CampaignRunner
+        from repro.campaign.fabric import (Coordinator,
+                                           collect_reports)
+        configs = _configs(4)
+        runner = CampaignRunner(backend="serial",
+                                cache_dir=tmp_path / "serial")
+        runner.run(configs, name="fleet")
+        reference = runner.store.canonical_bytes()
+        runner.close()
+
+        queue_dir = tmp_path / "queue"
+        queue = CampaignQueue(queue_dir, lease_timeout_s=30.0)
+        queue.enqueue(configs, campaign="fleet")
+        queue.close()
+        # No fault hook, no kill switch: this exercises the buffered
+        # put_many + complete_many fast path.
+        completed = run_worker(queue_dir, worker_id="bulk")
+        assert completed == len(configs)
+
+        coordinator = Coordinator(queue_dir)
+        reports = collect_reports(coordinator, configs)
+        assert len(reports) == len(configs)
+        store = ResultStore(tmp_path / "final.sqlite")
+        for config, report in zip(configs, reports):
+            store.put(config.config_hash(), config.to_dict(), report,
+                      campaign="fleet")
+        assert store.canonical_bytes() == reference
+        store.close()
+        coordinator.close()
